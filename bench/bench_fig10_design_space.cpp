@@ -1,0 +1,79 @@
+// Figure 10: chip test application time vs chip-level DFT area overhead
+// across the full design space of core-version combinations (System 1).
+//
+// The paper plots 18 design points (3 CPU x 3 PREPROCESSOR x 2 distinct
+// DISPLAY versions); the reconstruction enumerates the full 3x3x3 = 27
+// lattice and prints the scatter plus the Pareto frontier.  The headline
+// shape: roughly 4.5x TAT reduction between the minimum-area point and
+// the fastest point, for about 2x the (small) chip-level overhead.
+#include "common.hpp"
+
+int main() {
+  using namespace socet;
+  bench::print_header("System 1 design-space exploration", "Figure 10");
+
+  auto system = systems::make_barcode_system();
+  auto points = opt::enumerate_design_space(*system.soc);
+
+  util::Table table({"point", "CPU", "PRE", "DISP", "A.Ov. (cells)",
+                     "TApp. (cycles)", "pareto"});
+  auto front = opt::pareto_front(points);
+  auto on_front = [&front](const opt::DesignPoint& p) {
+    for (const auto& f : front) {
+      if (f.selection == p.selection) return true;
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    table.add_row({std::to_string(i + 1),
+                   "V" + std::to_string(p.selection[0] + 1),
+                   "V" + std::to_string(p.selection[1] + 1),
+                   "V" + std::to_string(p.selection[2] + 1),
+                   std::to_string(p.overhead_cells), std::to_string(p.tat),
+                   on_front(p) ? "*" : ""});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+
+  const auto& cheapest = points.front();
+  const auto& fastest = front.back();
+  std::printf("min-area point: %u cells, %llu cycles\n",
+              cheapest.overhead_cells, cheapest.tat);
+  std::printf("min-TAT point:  %u cells, %llu cycles\n",
+              fastest.overhead_cells, fastest.tat);
+  std::printf("TAT spread: %.2fx for %.2fx area "
+              "(paper: ~4.5x TAT for ~2.1x area)\n\n",
+              static_cast<double>(cheapest.tat) /
+                  static_cast<double>(fastest.tat),
+              static_cast<double>(fastest.overhead_cells) /
+                  static_cast<double>(cheapest.overhead_cells));
+
+  // The paper's companion observation (design point 17 vs 18): the
+  // all-minimum-latency configuration is not necessarily the fastest.
+  std::vector<unsigned> all_fast(system.soc->cores().size());
+  for (std::uint32_t c = 0; c < all_fast.size(); ++c) {
+    all_fast[c] =
+        static_cast<unsigned>(system.soc->core(c).version_count() - 1);
+  }
+  auto all_fast_plan = soc::plan_chip_test(*system.soc, all_fast);
+  std::printf("all-min-latency configuration: %llu cycles; exploration "
+              "found %llu cycles %s\n\n",
+              all_fast_plan.total_tat, fastest.tat,
+              fastest.tat <= all_fast_plan.total_tat
+                  ? "(<=: exploration matters, as in Table 1's point 17)"
+                  : "(worse: unexpected)");
+
+  std::printf("CSV scatter (area_cells,tat_cycles):\n");
+  for (const auto& p : points) {
+    std::printf("%u,%llu\n", p.overhead_cells, p.tat);
+  }
+
+  const bool ok = points.size() == 27 &&
+                  cheapest.tat > 2 * fastest.tat &&
+                  fastest.overhead_cells > cheapest.overhead_cells &&
+                  fastest.tat <= all_fast_plan.total_tat;
+  std::printf("\nshape check (27 points, >2x TAT spread, exploration >= "
+              "all-fast): %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

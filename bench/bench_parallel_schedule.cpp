@@ -1,0 +1,60 @@
+// Extension study: parallel test scheduling.
+//
+// The paper sums per-core test sessions; the SOC test-scheduling work
+// that followed it (Chakrabarty et al.) overlaps compatible sessions.
+// Pipeline SOCs like System 1 cannot overlap anything (every core is a
+// conduit for its neighbours); star-shaped SOCs with pin-adjacent cores
+// overlap almost everything.  This bench measures both regimes.
+#include "common.hpp"
+
+#include "socet/soc/parallel.hpp"
+#include "socet/systems/synthetic.hpp"
+
+int main() {
+  using namespace socet;
+  bench::print_header("parallel test scheduling extension",
+                      "post-1998 test-scheduling literature");
+
+  util::Table table({"system", "cores", "sessions", "sequential TAT",
+                     "parallel TAT", "speedup"});
+  bool ok = true;
+
+  auto add_row = [&](const std::string& name, systems::System& system) {
+    const std::vector<unsigned> selection(system.soc->cores().size(), 0);
+    auto plan = soc::plan_chip_test(*system.soc, selection);
+    auto schedule = soc::schedule_parallel(*system.soc, selection, plan);
+    table.add_row({name, std::to_string(system.soc->cores().size()),
+                   std::to_string(schedule.sessions.size()),
+                   std::to_string(schedule.sequential_tat),
+                   std::to_string(schedule.total_tat),
+                   util::Table::num(schedule.speedup(), 2) + "x"});
+    ok = ok && schedule.total_tat <= schedule.sequential_tat;
+    return schedule;
+  };
+
+  auto system1 = systems::make_barcode_system();
+  auto s1 = add_row("System1 (pipeline)", system1);
+  ok = ok && s1.sessions.size() == system1.soc->cores().size();
+
+  auto system2 = systems::make_system2();
+  add_row("System2 (pipeline)", system2);
+
+  // Star-shaped synthetic SOCs: high pin adjacency -> real parallelism.
+  double best_speedup = 1.0;
+  for (std::uint64_t seed : {31u, 47u}) {
+    systems::SyntheticSocOptions options;
+    options.cores = 6;
+    options.pin_adjacency_pct = 95;
+    auto star = systems::make_synthetic_system(seed, options);
+    auto schedule =
+        add_row("star-6 seed " + std::to_string(seed), star);
+    best_speedup = std::max(best_speedup, schedule.speedup());
+  }
+  std::printf("%s\n", table.to_text().c_str());
+
+  ok = ok && best_speedup > 1.8;
+  std::printf("shape check (pipelines fully serial; star SOCs >1.8x "
+              "speedup): %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

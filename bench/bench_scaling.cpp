@@ -1,0 +1,94 @@
+// Scaling micro-benchmarks (google-benchmark): how the core-level and
+// chip-level algorithms grow with design size.
+//
+// Synthetic workloads:
+//   * register chains of length N -> RCG extraction + version synthesis;
+//   * pipelines of N pass-through cores -> CCG planning with reservations;
+//   * the full System 1 flow end to end.
+#include <benchmark/benchmark.h>
+
+#include "socet/core/core.hpp"
+#include "socet/opt/optimize.hpp"
+#include "socet/soc/schedule.hpp"
+#include "socet/systems/systems.hpp"
+
+namespace {
+
+using namespace socet;
+
+/// A core with a scan-friendly chain of `depth` registers.
+rtl::Netlist make_chain_core(const std::string& name, unsigned depth) {
+  rtl::Netlist n(name);
+  auto in = n.add_input("IN", 8);
+  auto out = n.add_output("OUT", 8);
+  rtl::PinRef prev = n.pin(in);
+  for (unsigned i = 0; i < depth; ++i) {
+    auto r = n.add_register("R" + std::to_string(i), 8);
+    auto m = n.add_mux("M" + std::to_string(i), 8, 2);
+    auto k = n.add_constant("K" + std::to_string(i), util::BitVector(8, 0));
+    n.connect(prev, n.mux_in(m, 0));
+    n.connect(n.const_out(k), n.mux_in(m, 1));
+    n.connect(n.mux_out(m), n.reg_d(r));
+    prev = n.reg_q(r);
+  }
+  n.connect(prev, n.pin(out));
+  return n;
+}
+
+void BM_CorePreparation(benchmark::State& state) {
+  const unsigned depth = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    auto core = core::Core::prepare(make_chain_core("chain", depth));
+    benchmark::DoNotOptimize(core.version_count());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CorePreparation)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+void BM_ChipPlanning(benchmark::State& state) {
+  const unsigned cores = static_cast<unsigned>(state.range(0));
+  std::vector<core::Core> prepared;
+  prepared.reserve(cores);
+  for (unsigned i = 0; i < cores; ++i) {
+    prepared.push_back(
+        core::Core::prepare(make_chain_core("c" + std::to_string(i), 4)));
+    prepared.back().set_scan_vectors(50);
+  }
+  soc::Soc soc("pipeline");
+  auto pi = soc.add_pi("PI", 8);
+  auto po = soc.add_po("PO", 8);
+  for (unsigned i = 0; i < cores; ++i) soc.add_core(&prepared[i]);
+  soc.connect(pi, 0, "IN");
+  for (unsigned i = 0; i + 1 < cores; ++i) soc.connect(i, "OUT", i + 1, "IN");
+  soc.connect(cores - 1, "OUT", po);
+
+  const std::vector<unsigned> selection(cores, 0);
+  for (auto _ : state) {
+    auto plan = soc::plan_chip_test(soc, selection);
+    benchmark::DoNotOptimize(plan.total_tat);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ChipPlanning)->RangeMultiplier(2)->Range(2, 32)->Complexity();
+
+void BM_System1FullExploration(benchmark::State& state) {
+  for (auto _ : state) {
+    auto system = systems::make_barcode_system();
+    auto points = opt::enumerate_design_space(*system.soc);
+    benchmark::DoNotOptimize(points.size());
+  }
+}
+BENCHMARK(BM_System1FullExploration);
+
+void BM_System1MinimizeTat(benchmark::State& state) {
+  auto system = systems::make_barcode_system();
+  for (auto _ : state) {
+    auto best = opt::minimize_tat(*system.soc, 1'000'000);
+    benchmark::DoNotOptimize(best.tat);
+  }
+}
+BENCHMARK(BM_System1MinimizeTat);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Table 1: design space exploration for System 1 — area overhead, test
+// application time, fault coverage and test efficiency for the
+// minimum-area point, the minimum-TAT point found by exploration, and the
+// all-minimum-latency point.
+//
+// Paper values:
+//   each core min. area   (pt 1):  156 cells, 17,387 cycles, 98.4 / 99.8
+//   min. chip TApp.       (pt 17): 307 cells,  3,806 cycles, 98.4 / 99.8
+//   each core min. latency(pt 18): 325 cells,  3,818 cycles, 98.4 / 99.8
+//
+// FC/TEff are measured here exactly as in the paper's methodology: the
+// chip-level test set is each core's precomputed (ATPG) test set justified
+// through transparency, so chip coverage is the fault-population-weighted
+// coverage of the per-core test sets (transparency moves vectors losslessly).
+#include "common.hpp"
+
+int main() {
+  using namespace socet;
+  bench::print_header("System 1 design points", "Table 1");
+
+  auto system = systems::make_barcode_system();
+  std::printf("running per-core ATPG (measures test sets + coverage)...\n");
+  auto measured = bench::measure_cores(system);
+  const auto chip_cov = measured.aggregate();
+
+  // Design points.
+  const std::vector<unsigned> min_area(system.soc->cores().size(), 0);
+  std::vector<unsigned> min_latency(system.soc->cores().size());
+  for (std::uint32_t c = 0; c < min_latency.size(); ++c) {
+    min_latency[c] =
+        static_cast<unsigned>(system.soc->core(c).version_count() - 1);
+  }
+  auto explored = opt::minimize_tat(*system.soc, 1'000'000);
+
+  util::Table table({"Circuit description", "A. Ov. (cells)",
+                     "TApp. (cycles)", "FCov. (%)", "TEff. (%)"});
+  auto add_point = [&](const std::string& label,
+                       const std::vector<unsigned>& selection) {
+    auto plan = soc::plan_chip_test(*system.soc, selection);
+    table.add_row({label, std::to_string(plan.total_overhead_cells()),
+                   std::to_string(plan.total_tat),
+                   bench::fmt_pct(chip_cov.fault_coverage()),
+                   bench::fmt_pct(chip_cov.test_efficiency())});
+    return plan.total_tat;
+  };
+  const auto tat_slow = add_point("Each core has min. area (1)", min_area);
+  const auto tat_fast = add_point("Min. chip TApp. (explored)",
+                                  explored.selection);
+  const auto tat_all = add_point("Each core has min. latency (last)",
+                                 min_latency);
+  std::printf("%s\n", table.to_text().c_str());
+
+  std::printf("paper:  156 / 17,387 / 98.4 / 99.8\n"
+              "        307 /  3,806 / 98.4 / 99.8  (min TApp., point 17)\n"
+              "        325 /  3,818 / 98.4 / 99.8  (min latency, point 18)\n\n");
+
+  const double reduction =
+      static_cast<double>(tat_slow) / static_cast<double>(tat_fast);
+  std::printf("TAT reduction min-area -> explored: %.2fx (paper: ~4.6x)\n",
+              reduction);
+
+  // The paper's point 17 vs 18 message: exploration lands at (or below)
+  // the all-minimum-latency configuration at far less area.  Greedy may
+  // sit within a whisker above it.
+  const bool ok = tat_fast <= tat_all + tat_all / 100 && reduction > 2.0 &&
+                  chip_cov.fault_coverage() > 90.0 &&
+                  chip_cov.test_efficiency() > 95.0;
+  std::printf("shape check (explored within 1%% of all-fast, >2x reduction, "
+              "FC>90, TE>95): %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

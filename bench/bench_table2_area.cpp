@@ -1,0 +1,104 @@
+// Table 2: area overheads of SOCET vs FSCAN-BSCAN for both systems.
+//
+// Columns follow the paper: original chip area; core-level DFT overhead
+// under FSCAN and HSCAN; chip-level DFT overhead under BSCAN and under
+// SOCET (for the minimum-area and minimum-TAT design points); and the
+// combined core+chip totals for FSCAN-BSCAN vs SOCET.
+//
+// Paper values (percent of original area):
+//   System 1 (8,014 cells): FSCAN 18.8, HSCAN 10.1, BSCAN 5.2;
+//     SOCET chip-level 2.0 (min area) / 3.8 (min TApp.);
+//     totals: FSCAN-BSCAN 24.0, SOCET 12.1 / 13.9.
+//   System 2 (5,540 cells): FSCAN 15.6, HSCAN 10.3, BSCAN 9.9;
+//     SOCET chip-level 1.2 / 4.7; totals 25.5 vs 11.5 / 15.0.
+#include "common.hpp"
+
+namespace {
+
+using namespace socet;
+
+struct Row {
+  std::string name;
+  double orig_area;
+  double fscan_pct, hscan_pct, bscan_pct;
+  double socet_min_area_pct, socet_min_tat_pct;
+  double fscan_bscan_total_pct, socet_total_min_area_pct,
+      socet_total_min_tat_pct;
+};
+
+Row measure(systems::System& system) {
+  Row row;
+  row.name = system.soc->name();
+  row.orig_area = bench::chip_area(system);
+
+  double fscan_cells = 0;
+  double hscan_cells = 0;
+  for (const auto& core : system.cores) {
+    fscan_cells += core->fscan_overhead_cells();
+    hscan_cells += core->hscan_overhead_cells();
+  }
+  auto bscan = baselines::fscan_bscan(*system.soc);
+
+  const auto min_area_plan = soc::plan_chip_test(
+      *system.soc, std::vector<unsigned>(system.soc->cores().size(), 0));
+  auto min_tat = opt::minimize_tat(*system.soc, 1'000'000);
+
+  auto pct = [&row](double cells) { return 100.0 * cells / row.orig_area; };
+  row.fscan_pct = pct(fscan_cells);
+  row.hscan_pct = pct(hscan_cells);
+  row.bscan_pct = pct(bscan.chip_level_cells);
+  row.socet_min_area_pct = pct(min_area_plan.total_overhead_cells());
+  row.socet_min_tat_pct = pct(min_tat.overhead_cells);
+  row.fscan_bscan_total_pct = pct(fscan_cells + bscan.chip_level_cells);
+  row.socet_total_min_area_pct =
+      pct(hscan_cells + min_area_plan.total_overhead_cells());
+  row.socet_total_min_tat_pct = pct(hscan_cells + min_tat.overhead_cells);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("area overheads", "Table 2");
+
+  auto system1 = systems::make_barcode_system();
+  auto system2 = systems::make_system2();
+  std::vector<Row> rows{measure(system1), measure(system2)};
+
+  util::Table table({"Circuit", "Orig. Area (cells)", "FSCAN %", "HSCAN %",
+                     "BSCAN %", "SOCET chip % (type)",
+                     "FSCAN-BSCAN total %", "SOCET total %"});
+  for (const auto& row : rows) {
+    table.add_row({row.name, util::Table::num(row.orig_area, 0),
+                   bench::fmt_pct(row.fscan_pct),
+                   bench::fmt_pct(row.hscan_pct),
+                   bench::fmt_pct(row.bscan_pct),
+                   bench::fmt_pct(row.socet_min_area_pct) + " (Min. Area)",
+                   bench::fmt_pct(row.fscan_bscan_total_pct),
+                   bench::fmt_pct(row.socet_total_min_area_pct)});
+    table.add_row({"", "", "", "", "",
+                   bench::fmt_pct(row.socet_min_tat_pct) + " (Min. TApp.)",
+                   bench::fmt_pct(row.fscan_bscan_total_pct),
+                   bench::fmt_pct(row.socet_total_min_tat_pct)});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+
+  std::printf(
+      "paper:\n"
+      "  System 1: 8014 | 18.8 | 10.1 | 5.2 | 2.0 / 3.8 | 24.0 | 12.1 / 13.9\n"
+      "  System 2: 5540 | 15.6 | 10.3 | 9.9 | 1.2 / 4.7 | 25.5 | 11.5 / 15.0\n\n");
+
+  bool ok = true;
+  for (const auto& row : rows) {
+    ok = ok && row.hscan_pct < row.fscan_pct;  // HSCAN cheaper than FSCAN
+    // SOCET chip-level DFT far below boundary scan.
+    ok = ok && row.socet_min_area_pct < row.bscan_pct;
+    ok = ok && row.socet_min_tat_pct < row.bscan_pct;
+    // Combined totals: SOCET well below FSCAN-BSCAN.
+    ok = ok && row.socet_total_min_area_pct < row.fscan_bscan_total_pct;
+    ok = ok && row.socet_total_min_tat_pct < row.fscan_bscan_total_pct;
+  }
+  std::printf("shape check (HSCAN<FSCAN, SOCET chip<BSCAN, totals win): %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

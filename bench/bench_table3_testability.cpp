@@ -1,0 +1,96 @@
+// Table 3: testability results for both systems.
+//
+// Rows, as in the paper:
+//   * Orig.        — the chip with no DFT, random functional vectors from
+//                    reset, observed at POs only (measured by whole-chip
+//                    sequential fault simulation);
+//   * HSCAN        — every core carries its HSCAN chains (physically
+//                    inserted in the flat gate netlist), but no chip-level
+//                    DFT: the chains' scan-in pins hang on internal nets,
+//                    so chip-level coverage barely moves;
+//   * FSCAN-BSCAN  — full scan + boundary scan: every core fault is
+//                    combinationally testable (per-core ATPG coverage),
+//                    at a serial-chain TAT cost;
+//   * SOCET        — same core test sets justified through transparency,
+//                    for the min-area and min-TApp design points.
+//
+// Paper values:
+//   System 1: Orig 10.6/10.8; HSCAN 14.6/14.9;
+//             FSCAN-BSCAN 98.4/99.8 @ 36,152;
+//             SOCET 98.4/99.8 @ 17,387 (min area) / 3,806 (min TApp.)
+//   System 2: Orig 11.2/11.3; HSCAN 13.8/13.8;
+//             FSCAN-BSCAN 98.2/99.9 @ 46,394;
+//             SOCET 98.2/99.9 @ 16,435 / 3,998
+#include "common.hpp"
+
+namespace {
+
+using namespace socet;
+
+void run_system(systems::System& system) {
+  std::printf("--- %s ---\n", system.soc->name().c_str());
+
+  std::printf("whole-chip sequential fault simulation (no DFT)...\n");
+  auto orig =
+      bench::chip_sequential_coverage(system, bench::ChipMode::kNoDft);
+  std::printf("whole-chip sequential fault simulation (HSCAN, no chip "
+              "DFT)...\n");
+  auto hscan_only = bench::chip_sequential_coverage(
+      system, bench::ChipMode::kHscanUnreachable);
+  std::printf("per-core ATPG (scan-based rows)...\n");
+  auto measured = bench::measure_cores(system);
+  const auto scan_cov = measured.aggregate();
+
+  auto bscan = baselines::fscan_bscan(*system.soc);
+  const auto min_area_plan = soc::plan_chip_test(
+      *system.soc, std::vector<unsigned>(system.soc->cores().size(), 0));
+  auto min_tat = opt::minimize_tat(*system.soc, 1'000'000);
+
+  util::Table table({"configuration", "FC (%)", "TEff. (%)", "TApp. (cycles)"});
+  table.add_row({"Orig. (no DFT)", bench::fmt_pct(orig.fault_coverage()),
+                 bench::fmt_pct(orig.test_efficiency()), "-"});
+  table.add_row({"HSCAN only", bench::fmt_pct(hscan_only.fault_coverage()),
+                 bench::fmt_pct(hscan_only.test_efficiency()), "-"});
+  table.add_row({"FSCAN-BSCAN", bench::fmt_pct(scan_cov.fault_coverage()),
+                 bench::fmt_pct(scan_cov.test_efficiency()),
+                 std::to_string(bscan.total_tat)});
+  table.add_row({"SOCET Min. Area", bench::fmt_pct(scan_cov.fault_coverage()),
+                 bench::fmt_pct(scan_cov.test_efficiency()),
+                 std::to_string(min_area_plan.total_tat)});
+  table.add_row({"SOCET Min. TApp.", bench::fmt_pct(scan_cov.fault_coverage()),
+                 bench::fmt_pct(scan_cov.test_efficiency()),
+                 std::to_string(min_tat.tat)});
+  std::printf("%s\n", table.to_text().c_str());
+
+  const bool ok =
+      orig.fault_coverage() < 40.0 &&
+      hscan_only.fault_coverage() >= orig.fault_coverage() - 1.0 &&
+      hscan_only.fault_coverage() < 50.0 &&
+      scan_cov.fault_coverage() > 90.0 &&
+      scan_cov.test_efficiency() > 95.0 &&
+      min_area_plan.total_tat < bscan.total_tat &&
+      min_tat.tat < min_area_plan.total_tat;
+  std::printf("shape check (functional rows low, scan rows high, "
+              "SOCET TAT < FSCAN-BSCAN): %s\n\n",
+              ok ? "PASS" : "FAIL");
+  if (!ok) std::exit(1);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("testability results", "Table 3");
+
+  auto system1 = systems::make_barcode_system();
+  run_system(system1);
+  auto system2 = systems::make_system2();
+  run_system(system2);
+
+  std::printf(
+      "paper:\n"
+      "  System 1: Orig 10.6/10.8 | HSCAN 14.6/14.9 | "
+      "FSCAN-BSCAN 98.4/99.8 @36,152 | SOCET @17,387 / @3,806\n"
+      "  System 2: Orig 11.2/11.3 | HSCAN 13.8/13.8 | "
+      "FSCAN-BSCAN 98.2/99.9 @46,394 | SOCET @16,435 / @3,998\n");
+  return 0;
+}

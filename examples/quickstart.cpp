@@ -1,0 +1,67 @@
+// Quickstart: prepare a core, inspect its version menu, build a two-core
+// SOC, and plan its test — the whole SOCET flow in one page.
+//
+// Build & run:   cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "socet/opt/optimize.hpp"
+#include "socet/soc/schedule.hpp"
+#include "socet/systems/systems.hpp"
+#include "socet/util/table.hpp"
+
+int main() {
+  using namespace socet;
+
+  // 1. Core-level flow (normally done once by the core provider):
+  //    HSCAN insertion + transparency version menu.
+  core::Core cpu = core::Core::prepare(systems::make_cpu_rtl());
+  std::printf("CPU: %u flip-flops, HSCAN overhead %u cells, max depth %u\n",
+              cpu.flip_flop_count(), cpu.hscan_overhead_cells(),
+              cpu.hscan().max_depth);
+
+  util::Table menu({"version", "extra cells", "Data->AddrLo", "Data->AddrHi",
+                    "Data->Addr total"});
+  const auto data = cpu.netlist().find_port("Data");
+  const auto alo = cpu.netlist().find_port("AddrLo");
+  const auto ahi = cpu.netlist().find_port("AddrHi");
+  for (const auto& version : cpu.versions()) {
+    auto lo = version.latency(data, alo);
+    auto hi = version.latency(data, ahi);
+    menu.add_row({version.name, std::to_string(version.extra_cells),
+                  lo ? std::to_string(*lo) : "-",
+                  hi ? std::to_string(*hi) : "-",
+                  std::to_string(version.total_latency_from(data))});
+  }
+  std::printf("%s\n", menu.to_text().c_str());
+
+  // 2. Chip-level flow (the SOC integrator): wire the barcode system and
+  //    plan its test with the minimum-area version of every core.
+  auto system = systems::make_barcode_system();
+  const std::vector<unsigned> min_area(system.soc->cores().size(), 0);
+  auto plan = soc::plan_chip_test(*system.soc, min_area);
+
+  util::Table plan_table(
+      {"core", "period", "flush", "HSCAN vectors", "TAT (cycles)", "sys-mux"});
+  for (const auto& core_plan : plan.cores) {
+    const auto& core = system.soc->core(core_plan.core);
+    plan_table.add_row({core.name(), std::to_string(core_plan.period),
+                        std::to_string(core_plan.flush),
+                        std::to_string(core.hscan_vectors()),
+                        std::to_string(core_plan.tat),
+                        std::to_string(core_plan.system_mux_cells)});
+  }
+  std::printf("%s", plan_table.to_text().c_str());
+  std::printf(
+      "chip: TAT %llu cycles, chip-level DFT %u cells "
+      "(versions %u + system muxes %u + controller %u)\n\n",
+      plan.total_tat, plan.total_overhead_cells(), plan.version_cells,
+      plan.system_mux_cells, plan.controller_cells);
+
+  // 3. Trade-off exploration: minimum TAT under a generous area budget.
+  auto fast = opt::minimize_tat(*system.soc, 10'000);
+  std::printf("min-TAT point: %llu cycles at %u cells (selection:",
+              fast.tat, fast.overhead_cells);
+  for (unsigned v : fast.selection) std::printf(" V%u", v + 1);
+  std::printf(")\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Sequential ATPG by time-frame expansion — the library's equivalent of
+// the paper's "in-house sequential test generation tool" (used for
+// Table 3's original-circuit row).
+//
+// The sequential circuit is unrolled into k combinational frames starting
+// from the reset state (frame 0 flip-flops read 0); a permanent stuck-at
+// fault becomes one fault site per frame, handled by the multi-site PODEM
+// engine; primary outputs of every frame are observable.  A found test is
+// a k-cycle input sequence, independently verified against the sequential
+// fault simulator before being kept.
+//
+// Bounded unrolling cannot prove sequential redundancy (a fault untestable
+// in k frames may be testable in k+1), so undetected faults are reported
+// kAborted, never kUntestable — test efficiency stays honest.
+#pragma once
+
+#include <vector>
+
+#include "socet/atpg/podem.hpp"
+#include "socet/faultsim/seq_sim.hpp"
+#include "socet/util/rng.hpp"
+
+namespace socet::atpg {
+
+/// A sequential circuit unrolled into combinational frames.
+struct UnrolledCircuit {
+  gate::GateNetlist netlist;
+  /// frame_map[f][g] = gate in `netlist` carrying original gate g's value
+  /// in frame f.
+  std::vector<std::vector<gate::GateId>> frame_map;
+  /// pi_map[f][i] = unrolled input gate for original input i in frame f.
+  std::vector<std::vector<gate::GateId>> pi_map;
+  unsigned frames = 0;
+
+  UnrolledCircuit() : netlist("") {}
+};
+
+/// Unroll `sequential` for `frames` cycles from the all-zero reset state.
+UnrolledCircuit unroll(const gate::GateNetlist& sequential, unsigned frames);
+
+/// Map a permanent fault of the sequential circuit onto every frame of the
+/// unrolled circuit (one multi-site fault list).
+std::vector<faultsim::Fault> map_fault(const UnrolledCircuit& unrolled,
+                                       const faultsim::Fault& fault);
+
+struct SeqAtpgOptions {
+  unsigned max_frames = 6;
+  unsigned backtrack_limit = 256;
+  /// Random sequential vectors tried (and kept on success) before PODEM.
+  unsigned random_cycles = 64;
+  std::uint64_t seed = 1;
+};
+
+struct SeqAtpgResult {
+  /// Each test is a vector-per-cycle input sequence applied from reset.
+  std::vector<std::vector<util::BitVector>> sequences;
+  std::vector<faultsim::Fault> faults;
+  std::vector<faultsim::FaultStatus> statuses;
+
+  [[nodiscard]] faultsim::CoverageSummary coverage() const {
+    return faultsim::summarize(statuses);
+  }
+};
+
+/// Generate test sequences for the (non-scan) sequential circuit.
+SeqAtpgResult sequential_atpg(const gate::GateNetlist& netlist,
+                              const SeqAtpgOptions& options = {});
+
+}  // namespace socet::atpg

@@ -1,0 +1,59 @@
+// March-test BIST engine (Zorian-style distributed memory BIST, the
+// paper's reference [8]).
+//
+// A march test is a sequence of march elements, each an address sweep
+// (ascending / descending / either) applying read-expect and write
+// operations to every word.  March C- is provided as the standard
+// algorithm (detects all SAFs, TFs and idempotent coupling faults in
+// word-oriented memories); custom tests can be composed from elements.
+//
+// The engine returns pass/fail plus the cycle count, which is what a
+// distributed BIST controller contributes to the SOC test schedule (the
+// paper runs memory BIST in parallel with SOCET's logic-core testing).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "socet/bist/memory.hpp"
+
+namespace socet::bist {
+
+enum class MarchOrder : std::uint8_t { kAscending, kDescending, kEither };
+
+struct MarchOp {
+  enum class Kind : std::uint8_t { kWrite0, kWrite1, kRead0, kRead1 };
+  Kind kind = Kind::kWrite0;
+};
+
+struct MarchElement {
+  MarchOrder order = MarchOrder::kAscending;
+  std::vector<MarchOp> ops;
+};
+
+struct MarchTest {
+  std::string name;
+  std::vector<MarchElement> elements;
+
+  /// Total memory operations for a memory of `words` words.
+  [[nodiscard]] unsigned long long operation_count(std::uint32_t words) const;
+};
+
+/// March C-: {up(w0); up(r0,w1); up(r1,w0); down(r0,w1); down(r1,w0);
+/// either(r0)} — 10N operations.
+MarchTest march_c_minus();
+
+/// MATS+: {either(w0); up(r0,w1); down(r1,w0)} — 5N operations, SAF-only.
+MarchTest mats_plus();
+
+struct BistResult {
+  bool pass = true;
+  unsigned long long cycles = 0;
+  /// First failing (address, bit-index-of-word-compare) if !pass.
+  std::uint32_t fail_address = 0;
+};
+
+/// Run `test` against `memory` (word-wide data backgrounds 0/1).
+BistResult run_march(FaultyMemory& memory, const MarchTest& test);
+
+}  // namespace socet::bist

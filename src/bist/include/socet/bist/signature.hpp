@@ -1,0 +1,51 @@
+// Response compaction: multiple-input signature register (MISR).
+//
+// Scanning every response bit off-chip costs tester time and pins; a MISR
+// compacts the whole response stream into one w-bit signature that the
+// tester compares against the fault-free value.  The price is *aliasing*:
+// a faulty stream may collapse to the good signature with probability
+// ~2^-w.  This module provides the LFSR-based MISR the distributed-BIST
+// scheme [8] would pair with the memory tests, plus an aliasing estimate,
+// and the tests measure empirical aliasing against it.
+#pragma once
+
+#include <cstdint>
+
+#include "socet/util/bitvector.hpp"
+#include "socet/util/error.hpp"
+
+namespace socet::bist {
+
+class Misr {
+ public:
+  /// `width` up to 64 bits.  `taps` is the feedback polynomial (bit i set
+  /// means state bit i feeds back into bit 0 alongside the shifted-out
+  /// bit); the default taps per width come from standard primitive
+  /// polynomials for 8/16/32 bits and a reasonable fallback otherwise.
+  explicit Misr(unsigned width);
+  Misr(unsigned width, std::uint64_t taps);
+
+  unsigned width() const { return width_; }
+
+  /// Absorb one cycle's parallel response word (low `width` bits used).
+  void shift(std::uint64_t inputs);
+
+  /// Absorb a multi-word response (BitVector of any width, consumed in
+  /// `width`-bit chunks, low chunk first).
+  void absorb(const util::BitVector& response);
+
+  std::uint64_t signature() const { return state_; }
+  void reset() { state_ = 0; }
+
+  /// Probability that a random error stream aliases to the good
+  /// signature: ~2^-width.
+  [[nodiscard]] double aliasing_probability() const;
+
+ private:
+  unsigned width_;
+  std::uint64_t taps_;
+  std::uint64_t mask_;
+  std::uint64_t state_ = 0;
+};
+
+}  // namespace socet::bist

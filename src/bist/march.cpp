@@ -1,0 +1,78 @@
+#include "socet/bist/march.hpp"
+
+namespace socet::bist {
+
+unsigned long long MarchTest::operation_count(std::uint32_t words) const {
+  unsigned long long ops = 0;
+  for (const MarchElement& element : elements) {
+    ops += static_cast<unsigned long long>(element.ops.size()) * words;
+  }
+  return ops;
+}
+
+MarchTest march_c_minus() {
+  using K = MarchOp::Kind;
+  MarchTest test;
+  test.name = "March C-";
+  test.elements = {
+      {MarchOrder::kEither, {{K::kWrite0}}},
+      {MarchOrder::kAscending, {{K::kRead0}, {K::kWrite1}}},
+      {MarchOrder::kAscending, {{K::kRead1}, {K::kWrite0}}},
+      {MarchOrder::kDescending, {{K::kRead0}, {K::kWrite1}}},
+      {MarchOrder::kDescending, {{K::kRead1}, {K::kWrite0}}},
+      {MarchOrder::kEither, {{K::kRead0}}},
+  };
+  return test;
+}
+
+MarchTest mats_plus() {
+  using K = MarchOp::Kind;
+  MarchTest test;
+  test.name = "MATS+";
+  test.elements = {
+      {MarchOrder::kEither, {{K::kWrite0}}},
+      {MarchOrder::kAscending, {{K::kRead0}, {K::kWrite1}}},
+      {MarchOrder::kDescending, {{K::kRead1}, {K::kWrite0}}},
+  };
+  return test;
+}
+
+BistResult run_march(FaultyMemory& memory, const MarchTest& test) {
+  BistResult result;
+  const std::uint64_t ones =
+      memory.width() >= 64 ? ~0ULL : ((1ULL << memory.width()) - 1);
+
+  for (const MarchElement& element : test.elements) {
+    const bool descending = element.order == MarchOrder::kDescending;
+    for (std::uint32_t i = 0; i < memory.words(); ++i) {
+      const std::uint32_t address =
+          descending ? memory.words() - 1 - i : i;
+      for (const MarchOp& op : element.ops) {
+        ++result.cycles;
+        switch (op.kind) {
+          case MarchOp::Kind::kWrite0:
+            memory.write(address, 0);
+            break;
+          case MarchOp::Kind::kWrite1:
+            memory.write(address, ones);
+            break;
+          case MarchOp::Kind::kRead0:
+            if (memory.read(address) != 0 && result.pass) {
+              result.pass = false;
+              result.fail_address = address;
+            }
+            break;
+          case MarchOp::Kind::kRead1:
+            if (memory.read(address) != ones && result.pass) {
+              result.pass = false;
+              result.fail_address = address;
+            }
+            break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace socet::bist

@@ -1,0 +1,61 @@
+#include "socet/bist/signature.hpp"
+
+#include <cmath>
+
+namespace socet::bist {
+
+namespace {
+
+std::uint64_t default_taps(unsigned width) {
+  // Primitive polynomials (tap masks exclude the implicit x^width term).
+  switch (width) {
+    case 8:
+      return 0x1D;  // x^8 + x^4 + x^3 + x^2 + 1
+    case 16:
+      return 0x1021;  // CCITT
+    case 32:
+      return 0x04C11DB7;  // CRC-32
+    default: {
+      // Fallback: a sparse trinomial-ish mask that keeps the register
+      // mixing; not guaranteed maximal-length but fine for compaction.
+      std::uint64_t taps = 1;
+      if (width > 2) taps |= 1ULL << (width / 2);
+      if (width > 4) taps |= 1ULL << (width - 2);
+      return taps;
+    }
+  }
+}
+
+}  // namespace
+
+Misr::Misr(unsigned width) : Misr(width, default_taps(width)) {}
+
+Misr::Misr(unsigned width, std::uint64_t taps)
+    : width_(width), taps_(taps) {
+  util::require(width >= 2 && width <= 64, "Misr: width must be 2..64");
+  mask_ = width == 64 ? ~0ULL : ((1ULL << width) - 1);
+  taps_ &= mask_;
+  util::require(taps_ != 0, "Misr: feedback taps must be nonzero");
+}
+
+void Misr::shift(std::uint64_t inputs) {
+  const bool msb = (state_ >> (width_ - 1)) & 1;
+  state_ = (state_ << 1) & mask_;
+  if (msb) state_ ^= taps_;
+  state_ ^= inputs & mask_;
+}
+
+void Misr::absorb(const util::BitVector& response) {
+  for (std::size_t lo = 0; lo < response.width(); lo += width_) {
+    const std::size_t len =
+        std::min<std::size_t>(width_, response.width() - lo);
+    shift(response.slice(lo, len).to_u64());
+  }
+  if (response.width() == 0) shift(0);
+}
+
+double Misr::aliasing_probability() const {
+  return std::pow(2.0, -static_cast<double>(width_));
+}
+
+}  // namespace socet::bist

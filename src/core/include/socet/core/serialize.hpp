@@ -1,0 +1,42 @@
+// Text serialization of the shipped core interface.
+//
+// A hard-core provider under the SOCET methodology ships, per core: the
+// port list, the precomputed test-set size, the HSCAN summary (overhead +
+// chain depth, which fixes the vector expansion), the FSCAN/FF numbers
+// the baselines need, and the transparency version menu (Figures 6/8).
+// This module renders all of that as a line-oriented, diff-friendly text
+// format and parses it back — so an SOC integrator can plan and optimize
+// a chip (Section 5) without ever seeing the core's netlist.
+//
+// Format (one declaration per line, '#' comments allowed):
+//
+//   socet-core-interface v1
+//   core CPU
+//   flip_flops 46
+//   scan_vectors 110
+//   hscan 24 5          # overhead cells, max chain depth
+//   fscan 184
+//   port Data in data 8
+//   port AddrLo out data 8
+//   version Version_1 10
+//   edge Data AddrLo 1 0 0   # input output latency serial_group added_mux
+//   end
+#pragma once
+
+#include <string>
+
+#include "socet/core/core.hpp"
+
+namespace socet::core {
+
+/// Render `core`'s shippable interface.
+std::string serialize_interface(const Core& core);
+
+/// Render an interface struct directly.
+std::string serialize_interface_data(const CoreInterface& interface);
+
+/// Parse an interface description.  Throws util::Error with a line number
+/// on malformed input.
+CoreInterface parse_interface(const std::string& text);
+
+}  // namespace socet::core

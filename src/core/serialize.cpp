@@ -1,0 +1,181 @@
+#include "socet/core/serialize.hpp"
+
+#include <sstream>
+
+namespace socet::core {
+
+namespace {
+
+/// Version names may contain spaces; the format swaps them for '_'.
+std::string encode_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == ' ') c = '_';
+  }
+  return out;
+}
+
+std::string decode_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '_') c = ' ';
+  }
+  return out;
+}
+
+[[noreturn]] void parse_error(std::size_t line, const std::string& message) {
+  util::raise("parse_interface: line " + std::to_string(line) + ": " +
+              message);
+}
+
+}  // namespace
+
+std::string serialize_interface(const Core& core) {
+  return serialize_interface_data(core.to_interface());
+}
+
+std::string serialize_interface_data(const CoreInterface& interface) {
+  std::ostringstream out;
+  out << "socet-core-interface v1\n";
+  out << "core " << interface.name << "\n";
+  out << "flip_flops " << interface.flip_flops << "\n";
+  out << "scan_vectors " << interface.scan_vectors << "\n";
+  out << "hscan " << interface.hscan_overhead_cells << " "
+      << interface.hscan_max_depth << "\n";
+  out << "fscan " << interface.fscan_overhead_cells << "\n";
+  for (const rtl::Port& port : interface.ports) {
+    out << "port " << port.name << " "
+        << (port.dir == rtl::PortDir::kInput ? "in" : "out") << " "
+        << (port.kind == rtl::PortKind::kData ? "data" : "control") << " "
+        << port.width << "\n";
+  }
+  for (const auto& version : interface.versions) {
+    out << "version " << encode_name(version.name) << " "
+        << version.extra_cells << "\n";
+    for (const auto& edge : version.edges) {
+      out << "edge " << interface.ports.at(edge.input.index()).name << " "
+          << interface.ports.at(edge.output.index()).name << " "
+          << edge.latency << " " << edge.serial_group << " "
+          << (edge.via_added_mux ? 1 : 0) << "\n";
+    }
+  }
+  out << "end\n";
+  return out.str();
+}
+
+CoreInterface parse_interface(const std::string& text) {
+  CoreInterface interface;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  bool saw_end = false;
+
+  auto port_index = [&](const std::string& name,
+                        std::size_t at) -> rtl::PortId {
+    for (std::size_t i = 0; i < interface.ports.size(); ++i) {
+      if (interface.ports[i].name == name) {
+        return rtl::PortId(static_cast<std::uint32_t>(i));
+      }
+    }
+    parse_error(at, "unknown port '" + name + "'");
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines.
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream tokens(line);
+    std::string keyword;
+    if (!(tokens >> keyword)) continue;
+    if (saw_end) parse_error(line_no, "content after 'end'");
+
+    if (!saw_header) {
+      std::string version_tag;
+      if (keyword != "socet-core-interface" || !(tokens >> version_tag) ||
+          version_tag != "v1") {
+        parse_error(line_no, "expected 'socet-core-interface v1' header");
+      }
+      saw_header = true;
+      continue;
+    }
+
+    if (keyword == "core") {
+      if (!(tokens >> interface.name)) parse_error(line_no, "missing name");
+    } else if (keyword == "flip_flops") {
+      if (!(tokens >> interface.flip_flops)) parse_error(line_no, "bad count");
+    } else if (keyword == "scan_vectors") {
+      if (!(tokens >> interface.scan_vectors)) parse_error(line_no, "bad count");
+    } else if (keyword == "hscan") {
+      if (!(tokens >> interface.hscan_overhead_cells >>
+            interface.hscan_max_depth)) {
+        parse_error(line_no, "expected overhead and depth");
+      }
+    } else if (keyword == "fscan") {
+      if (!(tokens >> interface.fscan_overhead_cells)) {
+        parse_error(line_no, "bad count");
+      }
+    } else if (keyword == "port") {
+      rtl::Port port;
+      std::string dir;
+      std::string kind;
+      if (!(tokens >> port.name >> dir >> kind >> port.width)) {
+        parse_error(line_no, "expected 'port <name> in|out data|control <w>'");
+      }
+      if (dir == "in") {
+        port.dir = rtl::PortDir::kInput;
+      } else if (dir == "out") {
+        port.dir = rtl::PortDir::kOutput;
+      } else {
+        parse_error(line_no, "direction must be in|out");
+      }
+      if (kind == "data") {
+        port.kind = rtl::PortKind::kData;
+      } else if (kind == "control") {
+        port.kind = rtl::PortKind::kControl;
+      } else {
+        parse_error(line_no, "kind must be data|control");
+      }
+      if (port.width == 0) parse_error(line_no, "zero-width port");
+      interface.ports.push_back(std::move(port));
+    } else if (keyword == "version") {
+      transparency::CoreVersion version;
+      std::string encoded;
+      if (!(tokens >> encoded >> version.extra_cells)) {
+        parse_error(line_no, "expected 'version <name> <cells>'");
+      }
+      version.name = decode_name(encoded);
+      interface.versions.push_back(std::move(version));
+    } else if (keyword == "edge") {
+      if (interface.versions.empty()) {
+        parse_error(line_no, "edge before any version");
+      }
+      std::string in_name;
+      std::string out_name;
+      transparency::TransparencyEdgeSpec edge;
+      int added = 0;
+      if (!(tokens >> in_name >> out_name >> edge.latency >>
+            edge.serial_group >> added)) {
+        parse_error(line_no,
+                    "expected 'edge <in> <out> <lat> <group> <mux>'");
+      }
+      edge.input = port_index(in_name, line_no);
+      edge.output = port_index(out_name, line_no);
+      edge.via_added_mux = added != 0;
+      if (edge.latency == 0) parse_error(line_no, "zero latency");
+      interface.versions.back().edges.push_back(edge);
+    } else if (keyword == "end") {
+      saw_end = true;
+    } else {
+      parse_error(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!saw_header) util::raise("parse_interface: empty input");
+  if (!saw_end) util::raise("parse_interface: missing 'end'");
+  if (interface.name.empty()) util::raise("parse_interface: missing 'core'");
+  return interface;
+}
+
+}  // namespace socet::core

@@ -1,0 +1,92 @@
+#include "socet/emit/dot.hpp"
+
+#include <sstream>
+
+namespace socet::emit {
+
+std::string emit_dot(const transparency::Rcg& rcg) {
+  std::ostringstream out;
+  out << "digraph RCG {\n  rankdir=TB;\n  node [fontname=\"monospace\"];\n";
+  for (std::uint32_t i = 0; i < rcg.nodes().size(); ++i) {
+    const auto& node = rcg.node(i);
+    out << "  n" << i << " [label=\"" << rcg.node_name(i);
+    if (node.c_split) out << "\\n(C-split)";
+    if (node.o_split) out << "\\n(O-split)";
+    out << "\"";
+    switch (node.ref.kind) {
+      case rtl::NodeKind::kInputPort:
+        out << ", shape=invhouse, style=filled, fillcolor=lightblue";
+        break;
+      case rtl::NodeKind::kOutputPort:
+        out << ", shape=house, style=filled, fillcolor=lightyellow";
+        break;
+      case rtl::NodeKind::kRegister:
+        out << ", shape=box";
+        if (node.c_split || node.o_split) {
+          out << ", style=filled, fillcolor=mistyrose";
+        }
+        break;
+    }
+    out << "];\n";
+  }
+  for (const auto& edge : rcg.edges()) {
+    out << "  n" << edge.src << " -> n" << edge.dst << " [label=\"";
+    if (edge.width > 1 || edge.src_lo != 0 || edge.dst_lo != 0) {
+      out << "[" << (edge.src_lo + edge.width - 1) << ":" << edge.src_lo
+          << "]";
+    }
+    out << "\"";
+    if (edge.hscan) out << ", penwidth=2.5";  // the paper's darkened edges
+    if (edge.direct) out << ", color=forestgreen";
+    out << "];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string emit_dot(const soc::Soc& soc, const soc::Ccg& ccg) {
+  std::ostringstream out;
+  out << "digraph CCG {\n  rankdir=LR;\n  node [fontname=\"monospace\"];\n";
+
+  // Cluster core ports per core (Figure 9's dashed core boxes).
+  for (std::uint32_t c = 0; c < soc.cores().size(); ++c) {
+    out << "  subgraph cluster_" << c << " {\n    label=\""
+        << soc.core(c).name() << "\";\n    style=dashed;\n";
+    for (std::uint32_t i = 0; i < ccg.nodes().size(); ++i) {
+      const auto& node = ccg.nodes()[i];
+      if ((node.kind == soc::CcgNodeKind::kCoreIn ||
+           node.kind == soc::CcgNodeKind::kCoreOut) &&
+          node.core_port.core == c) {
+        out << "    n" << i << " [label=\""
+            << soc.core(c).netlist().port(node.core_port.port).name
+            << "\", shape="
+            << (node.kind == soc::CcgNodeKind::kCoreIn ? "box" : "oval")
+            << "];\n";
+      }
+    }
+    out << "  }\n";
+  }
+  for (std::uint32_t i = 0; i < ccg.nodes().size(); ++i) {
+    const auto& node = ccg.nodes()[i];
+    if (node.kind == soc::CcgNodeKind::kPi) {
+      out << "  n" << i << " [label=\"" << soc.pis()[node.pin].name
+          << "\", shape=invhouse, style=filled, fillcolor=lightblue];\n";
+    } else if (node.kind == soc::CcgNodeKind::kPo) {
+      out << "  n" << i << " [label=\"" << soc.pos()[node.pin].name
+          << "\", shape=house, style=filled, fillcolor=lightyellow];\n";
+    }
+  }
+  for (const auto& edge : ccg.edges()) {
+    out << "  n" << edge.src << " -> n" << edge.dst;
+    if (edge.core >= 0) {
+      out << " [label=\"" << edge.latency << "\", color=slateblue]";
+    } else {
+      out << " [style=bold]";
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace socet::emit

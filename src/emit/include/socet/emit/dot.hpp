@@ -1,0 +1,24 @@
+// Graphviz DOT emission for the paper's two graphs.
+//
+//   * RCG (Figure 7): register connectivity graph — input/output ports as
+//     house-shaped nodes, registers as boxes (C-/O-split nodes flagged),
+//     HSCAN edges drawn bold (the paper's "darkened" edges).
+//   * CCG (Figure 9): core connectivity graph — PI/PO nodes, core ports
+//     clustered per core, transparency edges labelled with latencies.
+//
+// Render with `dot -Tsvg` to regenerate the paper's figures for any core
+// or SOC, including user-defined ones.
+#pragma once
+
+#include <string>
+
+#include "socet/soc/ccg.hpp"
+#include "socet/transparency/rcg.hpp"
+
+namespace socet::emit {
+
+std::string emit_dot(const transparency::Rcg& rcg);
+
+std::string emit_dot(const soc::Soc& soc, const soc::Ccg& ccg);
+
+}  // namespace socet::emit

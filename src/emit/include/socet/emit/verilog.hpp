@@ -1,0 +1,30 @@
+// Verilog emission.
+//
+// Two writers:
+//   * RT level — behavioural Verilog-2001 for an rtl::Netlist: one always
+//     block per register (load enables and bit-sliced writes preserved),
+//     continuous assigns for muxes and functional units.  Control clouds
+//     (kRandomLogic) have no RT-level semantics and are rejected; emit the
+//     elaborated gate netlist instead.
+//   * Gate level — structural Verilog for a gate::GateNetlist (primitive
+//     gate instantiations), accepting anything the elaborator produces.
+//
+// Emitted modules are self-contained and synthesizable; golden tests pin
+// the output shape, and identifiers are sanitized deterministically.
+#pragma once
+
+#include <string>
+
+#include "socet/gate/netlist.hpp"
+#include "socet/rtl/netlist.hpp"
+
+namespace socet::emit {
+
+/// Behavioural Verilog for an RTL netlist.  Throws util::Error if the
+/// netlist contains kRandomLogic units.
+std::string emit_verilog(const rtl::Netlist& netlist);
+
+/// Structural Verilog for a gate netlist.
+std::string emit_verilog(const gate::GateNetlist& netlist);
+
+}  // namespace socet::emit

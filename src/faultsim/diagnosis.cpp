@@ -1,0 +1,65 @@
+#include "socet/faultsim/diagnosis.hpp"
+
+#include <algorithm>
+
+namespace socet::faultsim {
+
+DiagnosisResult diagnose(const gate::GateNetlist& netlist,
+                         const std::vector<ScanPattern>& patterns,
+                         const std::vector<util::BitVector>& observed) {
+  util::require(patterns.size() == observed.size(),
+                "diagnose: need one observed response per pattern");
+  ScanFaultSim sim(netlist);
+
+  // Observed failure positions: (pattern, bit) pairs where the chip
+  // disagreed with the fault-free machine.
+  std::vector<util::BitVector> good;
+  good.reserve(patterns.size());
+  unsigned long long observed_failures = 0;
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    good.push_back(sim.good_response(patterns[p]));
+    util::require(good.back().width() == observed[p].width(),
+                  "diagnose: observed response width mismatch");
+    for (std::size_t b = 0; b < good.back().width(); ++b) {
+      observed_failures += good.back().get(b) != observed[p].get(b);
+    }
+  }
+
+  DiagnosisResult result;
+  if (observed_failures == 0) return result;  // chip passed: nothing to do
+
+  const auto faults = enumerate_faults(netlist);
+  for (const Fault& fault : faults) {
+    DiagnosisCandidate candidate;
+    candidate.fault = fault;
+    for (std::size_t p = 0; p < patterns.size(); ++p) {
+      const auto predicted = sim.faulty_response(fault, patterns[p]);
+      for (std::size_t b = 0; b < predicted.width(); ++b) {
+        const bool predicted_fail = predicted.get(b) != good[p].get(b);
+        const bool observed_fail = observed[p].get(b) != good[p].get(b);
+        if (predicted_fail && observed_fail) {
+          ++candidate.matched;
+        } else if (predicted_fail) {
+          ++candidate.mispredicted;
+        } else if (observed_fail) {
+          ++candidate.missed;
+        }
+      }
+    }
+    candidate.score = static_cast<long long>(candidate.matched) -
+                      candidate.mispredicted - candidate.missed;
+    // Keep anything better than explaining nothing at all.
+    if (candidate.score >
+        -static_cast<long long>(observed_failures)) {
+      result.ranked.push_back(candidate);
+    }
+  }
+  std::stable_sort(result.ranked.begin(), result.ranked.end(),
+                   [](const DiagnosisCandidate& a,
+                      const DiagnosisCandidate& b) {
+                     return a.score > b.score;
+                   });
+  return result;
+}
+
+}  // namespace socet::faultsim

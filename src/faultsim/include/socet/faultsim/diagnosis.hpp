@@ -1,0 +1,52 @@
+// Fault diagnosis by dictionary matching.
+//
+// When a manufactured chip fails its test, the next question is *where*:
+// which stuck-at fault best explains the observed responses.  The classic
+// cause-effect answer builds a fault dictionary — per candidate fault,
+// the set of (pattern, output bit) positions where its response differs
+// from the fault-free one — and ranks candidates by how well their
+// predicted failures match the observed failures.
+//
+// Scoring: per candidate,
+//   match    = |predicted failures ∩ observed failures|
+//   mispred  = |predicted \ observed|   (candidate fails where chip passed)
+//   missed   = |observed \ predicted|   (chip fails the candidate misses)
+//   score    = match - mispred - missed   (Jaccard-like; exact single
+//              stuck-at culprits reach score == |observed| > 0)
+//
+// Intended for core-sized circuits (it simulates every candidate against
+// every pattern); the tests diagnose injected faults on the GCD core.
+#pragma once
+
+#include <vector>
+
+#include "socet/faultsim/scan_sim.hpp"
+
+namespace socet::faultsim {
+
+struct DiagnosisCandidate {
+  Fault fault;
+  long long score = 0;
+  unsigned matched = 0;
+  unsigned mispredicted = 0;
+  unsigned missed = 0;
+
+  /// Exact explanation: predicts all observed failures and nothing else.
+  [[nodiscard]] bool exact() const {
+    return mispredicted == 0 && missed == 0 && matched > 0;
+  }
+};
+
+struct DiagnosisResult {
+  /// Candidates sorted best-first; only candidates with score > the
+  /// all-miss baseline are kept.
+  std::vector<DiagnosisCandidate> ranked;
+};
+
+/// Diagnose from observed responses (one BitVector per pattern, in
+/// good_response layout: POs then PPOs).
+DiagnosisResult diagnose(const gate::GateNetlist& netlist,
+                         const std::vector<ScanPattern>& patterns,
+                         const std::vector<util::BitVector>& observed);
+
+}  // namespace socet::faultsim

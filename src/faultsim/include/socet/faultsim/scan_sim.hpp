@@ -1,0 +1,66 @@
+// Combinational (full-scan) fault simulation, 64 patterns in parallel.
+//
+// A full-scan circuit is tested through its combinational view: every scan
+// pattern sets the primary inputs and the flip-flop contents (pseudo
+// primary inputs), and responses are observed at the primary outputs and
+// flip-flop D pins (pseudo primary outputs).  The simulator runs the good
+// machine once per 64-pattern block, then replays each still-undetected
+// fault through the fault's fanout cone only, with fault dropping.
+#pragma once
+
+#include <vector>
+
+#include "socet/faultsim/faults.hpp"
+#include "socet/util/bitvector.hpp"
+
+namespace socet::faultsim {
+
+/// One full-scan test pattern.
+struct ScanPattern {
+  /// One bit per primary input, ordered like GateNetlist::inputs().
+  util::BitVector pi;
+  /// One bit per flip-flop, ordered like GateNetlist::dffs().
+  util::BitVector ppi;
+};
+
+class ScanFaultSim {
+ public:
+  explicit ScanFaultSim(const gate::GateNetlist& netlist);
+
+  /// Simulate `patterns` against `faults`; marks newly detected faults in
+  /// `statuses` (kUndetected -> kDetected).  Other statuses are untouched.
+  void run(const std::vector<Fault>& faults,
+           const std::vector<ScanPattern>& patterns,
+           std::vector<FaultStatus>& statuses);
+
+  /// Good-machine responses for one pattern: values of POs then PPOs.
+  /// Useful for building expected-response data.
+  util::BitVector good_response(const ScanPattern& pattern);
+
+  /// The response the circuit produces for `pattern` *with `fault`
+  /// injected* (same PO+PPO layout as good_response).  Drives the fault
+  /// dictionary used by diagnosis.
+  util::BitVector faulty_response(const Fault& fault,
+                                  const ScanPattern& pattern);
+
+ private:
+  /// Word of pattern bits (up to 64) applied to every PI/PPI.
+  void load_block(const std::vector<ScanPattern>& patterns, std::size_t first,
+                  std::size_t count);
+  /// Faulty-machine word of `gate` under fault `f` (reading good values for
+  /// anything outside the already-updated cone scratch).
+  std::uint64_t faulty_word(gate::GateId id, const Fault& f);
+  std::uint64_t lookup(gate::GateId id) const;
+  const std::vector<gate::GateId>& cone_of(gate::GateId id);
+
+  const gate::GateNetlist& netlist_;
+  std::vector<std::uint64_t> good_;
+  std::vector<std::uint64_t> scratch_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t current_stamp_ = 0;
+  std::vector<std::vector<gate::GateId>> cones_;  ///< lazily built
+  std::vector<char> cone_built_;
+  std::vector<std::uint32_t> topo_pos_;
+};
+
+}  // namespace socet::faultsim

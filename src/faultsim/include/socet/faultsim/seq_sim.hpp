@@ -1,0 +1,34 @@
+// Sequential fault simulation (parallel-fault, 63 faulty machines + the
+// good machine per pass).
+//
+// Used for the paper's "original circuit, no DFT" and "HSCAN-only" rows of
+// Table 3: a vector sequence is applied from reset at the chip's primary
+// inputs and responses are observed at the primary outputs only.  Bit 0 of
+// every simulation word is the good machine; bits 1..63 carry one faulty
+// machine each, with the fault permanently injected at its site.
+#pragma once
+
+#include <vector>
+
+#include "socet/faultsim/faults.hpp"
+#include "socet/util/bitvector.hpp"
+
+namespace socet::faultsim {
+
+class SequentialFaultSim {
+ public:
+  explicit SequentialFaultSim(const gate::GateNetlist& netlist);
+
+  /// Apply `sequence` (one BitVector per cycle, one bit per primary input,
+  /// ordered like GateNetlist::inputs()) from reset.  Faults whose machine
+  /// diverges from the good machine at any primary output in any cycle are
+  /// marked kDetected in `statuses`.
+  void run(const std::vector<Fault>& faults,
+           const std::vector<util::BitVector>& sequence,
+           std::vector<FaultStatus>& statuses);
+
+ private:
+  const gate::GateNetlist& netlist_;
+};
+
+}  // namespace socet::faultsim

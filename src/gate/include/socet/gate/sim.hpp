@@ -1,0 +1,46 @@
+// Gate-level logic simulation, 64 patterns in parallel.
+//
+// Each gate's value is a 64-bit word: bit k is the gate's logic value under
+// pattern k.  This is the classic parallel-pattern technique that the fault
+// simulator builds on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "socet/gate/netlist.hpp"
+
+namespace socet::gate {
+
+/// Evaluates the combinational view of `netlist`.
+///
+/// `values` must have one word per gate.  The caller presets the words of
+/// primary inputs and DFF outputs (pseudo primary inputs); `eval` fills in
+/// every other gate, including constants.
+void eval_comb(const GateNetlist& netlist, std::vector<std::uint64_t>& values);
+
+/// Cycle-accurate sequential simulator (64 parallel runs).
+class SequentialSim {
+ public:
+  explicit SequentialSim(const GateNetlist& netlist);
+
+  /// Reset all flip-flops to 0 in every parallel run.
+  void reset();
+
+  /// Apply one clock cycle: `pi_values[i]` is the 64-pattern word for
+  /// `netlist.inputs()[i]`.  After the call, `values()` holds the settled
+  /// combinational values and the flip-flops have captured.
+  void step(const std::vector<std::uint64_t>& pi_values);
+
+  /// Word of an arbitrary gate after the last step().
+  std::uint64_t value(GateId gate) const { return values_.at(gate.index()); }
+
+  const std::vector<std::uint64_t>& values() const { return values_; }
+
+ private:
+  const GateNetlist& netlist_;
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint64_t> state_;  ///< DFF contents, indexed like dffs()
+};
+
+}  // namespace socet::gate

@@ -1,0 +1,84 @@
+#include "socet/gate/sim.hpp"
+
+namespace socet::gate {
+
+void eval_comb(const GateNetlist& netlist, std::vector<std::uint64_t>& values) {
+  util::require(values.size() == netlist.gate_count(),
+                "eval_comb: value vector size mismatch");
+  const auto& gates = netlist.gates();
+  for (GateId id : netlist.topo_order()) {
+    const Gate& g = gates[id.index()];
+    std::uint64_t v = 0;
+    switch (g.kind) {
+      case GateKind::kInput:
+      case GateKind::kDff:
+        continue;  // preset by caller
+      case GateKind::kConst0:
+        v = 0;
+        break;
+      case GateKind::kConst1:
+        v = ~0ULL;
+        break;
+      case GateKind::kBuf:
+        v = values[g.fanin[0].index()];
+        break;
+      case GateKind::kNot:
+        v = ~values[g.fanin[0].index()];
+        break;
+      case GateKind::kAnd:
+      case GateKind::kNand:
+        v = ~0ULL;
+        for (GateId f : g.fanin) v &= values[f.index()];
+        if (g.kind == GateKind::kNand) v = ~v;
+        break;
+      case GateKind::kOr:
+      case GateKind::kNor:
+        v = 0;
+        for (GateId f : g.fanin) v |= values[f.index()];
+        if (g.kind == GateKind::kNor) v = ~v;
+        break;
+      case GateKind::kXor:
+        v = values[g.fanin[0].index()] ^ values[g.fanin[1].index()];
+        break;
+      case GateKind::kXnor:
+        v = ~(values[g.fanin[0].index()] ^ values[g.fanin[1].index()]);
+        break;
+    }
+    values[id.index()] = v;
+  }
+}
+
+SequentialSim::SequentialSim(const GateNetlist& netlist)
+    : netlist_(netlist),
+      values_(netlist.gate_count(), 0),
+      state_(netlist.dffs().size(), 0) {}
+
+void SequentialSim::reset() {
+  state_.assign(state_.size(), 0);
+  values_.assign(values_.size(), 0);
+}
+
+void SequentialSim::step(const std::vector<std::uint64_t>& pi_values) {
+  const auto& inputs = netlist_.inputs();
+  util::require(pi_values.size() == inputs.size(),
+                "SequentialSim::step: wrong number of input words");
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    values_[inputs[i].index()] = pi_values[i];
+  }
+  const auto& dffs = netlist_.dffs();
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    values_[dffs[i].index()] = state_[i];
+  }
+  eval_comb(netlist_, values_);
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    state_[i] = values_[netlist_.gate(dffs[i]).fanin[0].index()];
+  }
+  // Re-settle with the captured state so values() presents the post-edge
+  // view: Q pins show the newly loaded data under the same held inputs.
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    values_[dffs[i].index()] = state_[i];
+  }
+  eval_comb(netlist_, values_);
+}
+
+}  // namespace socet::gate

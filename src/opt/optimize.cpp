@@ -1,0 +1,228 @@
+#include "socet/opt/optimize.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace socet::opt {
+
+namespace {
+
+using soc::ChipTestPlan;
+using soc::Soc;
+
+DesignPoint evaluate(const Soc& soc, std::vector<unsigned> selection,
+                     const OptimizeOptions& options) {
+  DesignPoint point;
+  point.plan = soc::plan_chip_test(soc, selection, options.plan);
+  point.selection = std::move(selection);
+  point.tat = point.plan.total_tat;
+  point.overhead_cells = point.plan.total_overhead_cells();
+  return point;
+}
+
+}  // namespace
+
+long long latency_improvement(const Soc& soc, const ChipTestPlan& plan,
+                              std::uint32_t core, unsigned current_version,
+                              unsigned next_version) {
+  const auto& cur = soc.core(core).version(current_version);
+  const auto& next = soc.core(core).version(next_version);
+  long long current_number = 0;
+  long long next_number = 0;
+  for (const auto& [key, count] : plan.edge_use) {
+    const auto& [c, in, out] = key;
+    if (c != core) continue;
+    const auto cur_latency = cur.latency(in, out);
+    const auto next_latency = next.latency(in, out);
+    if (cur_latency) {
+      current_number += static_cast<long long>(count) * *cur_latency;
+    }
+    // A pair the next version lacks keeps its current latency (the
+    // upgrade never removes transparency, but be defensive).
+    const unsigned effective_next =
+        next_latency ? *next_latency : cur_latency.value_or(0);
+    next_number += static_cast<long long>(count) * effective_next;
+  }
+  return current_number - next_number;
+}
+
+DesignPoint minimize_tat(const Soc& soc, unsigned area_budget_cells,
+                         const OptimizeOptions& options) {
+  std::vector<unsigned> selection(soc.cores().size(), 0);
+  DesignPoint best = evaluate(soc, selection, options);
+
+  while (true) {
+    // Candidate moves: upgrade one core to its next version.  The
+    // heuristic pass ranks by the paper's edge-usage latency numbers; if
+    // no candidate shows a heuristic gain (an upgrade whose benefit is a
+    // *new* transparency pair rather than a faster existing one), fall
+    // back to exact re-planning so the walk doesn't stall.
+    long long best_gain = 0;
+    std::int32_t best_core = -1;
+    DesignPoint best_candidate;
+    for (int exact_pass = options.heuristic_ranking ? 0 : 1;
+         exact_pass < 2 && best_core < 0; ++exact_pass) {
+      for (std::uint32_t c = 0; c < soc.cores().size(); ++c) {
+        const unsigned next = best.selection[c] + 1;
+        if (next >= soc.core(c).version_count()) continue;
+
+        long long gain;
+        DesignPoint candidate;
+        if (exact_pass == 0) {
+          gain =
+              latency_improvement(soc, best.plan, c, best.selection[c], next);
+        } else {
+          auto trial = best.selection;
+          trial[c] = next;
+          candidate = evaluate(soc, std::move(trial), options);
+          gain = static_cast<long long>(best.tat) -
+                 static_cast<long long>(candidate.tat);
+        }
+        if (gain <= best_gain) continue;
+
+        // Respect the area budget.
+        if (exact_pass == 0) {
+          auto trial = best.selection;
+          trial[c] = next;
+          candidate = evaluate(soc, std::move(trial), options);
+        }
+        if (candidate.overhead_cells > area_budget_cells) continue;
+        best_gain = gain;
+        best_core = static_cast<std::int32_t>(c);
+        best_candidate = std::move(candidate);
+      }
+    }
+    if (best_core < 0) break;
+    // Only accept moves that actually help the exact objective.
+    if (best_candidate.tat >= best.tat) break;
+    best = std::move(best_candidate);
+  }
+  best.met_constraint = best.overhead_cells <= area_budget_cells;
+  return best;
+}
+
+DesignPoint minimize_area(const Soc& soc, unsigned long long tat_budget,
+                          const OptimizeOptions& options) {
+  std::vector<unsigned> selection(soc.cores().size(), 0);
+  DesignPoint best = evaluate(soc, selection, options);
+
+  while (best.tat > tat_budget) {
+    // Cheapest upgrade with a non-zero latency improvement (w1=0, w2=1).
+    // As in minimize_tat, an exact pass rescues the walk when the
+    // edge-usage heuristic sees no gain anywhere.
+    long long best_cost = std::numeric_limits<long long>::max();
+    DesignPoint best_candidate;
+    bool found = false;
+    for (int exact_pass = options.heuristic_ranking ? 0 : 1;
+         exact_pass < 2 && !found; ++exact_pass) {
+      for (std::uint32_t c = 0; c < soc.cores().size(); ++c) {
+        const unsigned next = best.selection[c] + 1;
+        if (next >= soc.core(c).version_count()) continue;
+        if (exact_pass == 0) {
+          const long long gain = latency_improvement(
+              soc, best.plan, c, best.selection[c], next);
+          if (gain <= 0) continue;
+        }
+        const long long delta_area =
+            static_cast<long long>(soc.core(c).version(next).extra_cells) -
+            static_cast<long long>(
+                soc.core(c).version(best.selection[c]).extra_cells);
+        if (delta_area >= best_cost) continue;
+        auto trial = best.selection;
+        trial[c] = next;
+        DesignPoint candidate = evaluate(soc, std::move(trial), options);
+        if (candidate.tat >= best.tat) continue;  // no real progress
+        best_cost = delta_area;
+        best_candidate = std::move(candidate);
+        found = true;
+      }
+    }
+    if (!found) break;
+    best = std::move(best_candidate);
+  }
+  best.met_constraint = best.tat <= tat_budget;
+  return best;
+}
+
+DesignPoint minimize_weighted(const Soc& soc, double w1, double w2,
+                              const OptimizeOptions& options) {
+  util::require(w1 >= 0 && w2 >= 0 && (w1 > 0 || w2 > 0),
+                "minimize_weighted: weights must be non-negative, not both 0");
+  std::vector<unsigned> selection(soc.cores().size(), 0);
+  DesignPoint best = evaluate(soc, selection, options);
+
+  while (true) {
+    double best_gain = 0.0;
+    DesignPoint best_candidate;
+    bool found = false;
+    for (std::uint32_t c = 0; c < soc.cores().size(); ++c) {
+      const unsigned next = best.selection[c] + 1;
+      if (next >= soc.core(c).version_count()) continue;
+      auto trial = best.selection;
+      trial[c] = next;
+      DesignPoint candidate = evaluate(soc, std::move(trial), options);
+      const double gain =
+          w1 * (static_cast<double>(best.tat) -
+                static_cast<double>(candidate.tat)) -
+          w2 * (static_cast<double>(candidate.overhead_cells) -
+                static_cast<double>(best.overhead_cells));
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_candidate = std::move(candidate);
+        found = true;
+      }
+    }
+    if (!found) break;
+    best = std::move(best_candidate);
+  }
+  return best;
+}
+
+std::vector<DesignPoint> enumerate_design_space(const Soc& soc,
+                                                const OptimizeOptions& options) {
+  std::vector<DesignPoint> points;
+  std::vector<unsigned> selection(soc.cores().size(), 0);
+  while (true) {
+    points.push_back(evaluate(soc, selection, options));
+    // Odometer increment over the version menus.
+    std::size_t c = 0;
+    while (c < selection.size()) {
+      if (++selection[c] < soc.core(static_cast<std::uint32_t>(c))
+                               .version_count()) {
+        break;
+      }
+      selection[c] = 0;
+      ++c;
+    }
+    if (c == selection.size()) break;
+  }
+  std::sort(points.begin(), points.end(),
+            [](const DesignPoint& a, const DesignPoint& b) {
+              if (a.overhead_cells != b.overhead_cells) {
+                return a.overhead_cells < b.overhead_cells;
+              }
+              return a.tat < b.tat;
+            });
+  return points;
+}
+
+std::vector<DesignPoint> pareto_front(std::vector<DesignPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const DesignPoint& a, const DesignPoint& b) {
+              if (a.overhead_cells != b.overhead_cells) {
+                return a.overhead_cells < b.overhead_cells;
+              }
+              return a.tat < b.tat;
+            });
+  std::vector<DesignPoint> front;
+  unsigned long long best_tat = std::numeric_limits<unsigned long long>::max();
+  for (auto& point : points) {
+    if (point.tat < best_tat) {
+      best_tat = point.tat;
+      front.push_back(std::move(point));
+    }
+  }
+  return front;
+}
+
+}  // namespace socet::opt

@@ -1,0 +1,94 @@
+// Component types of the register-transfer-level netlist model.
+//
+// The SOCET algorithms (HSCAN insertion, RCG extraction, transparency
+// path search) consume purely *structural* RTL: ports, registers,
+// multiplexers, functional units and constants, wired together with
+// bit-sliced connections.  This mirrors the paper's premise that only
+// structural — not functional — information about a core is available.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "socet/util/bitvector.hpp"
+#include "socet/util/ids.hpp"
+
+namespace socet::rtl {
+
+struct PortTag {};
+struct RegisterTag {};
+struct MuxTag {};
+struct FuTag {};
+struct ConstantTag {};
+
+using PortId = util::Id<PortTag>;
+using RegisterId = util::Id<RegisterTag>;
+using MuxId = util::Id<MuxTag>;
+using FuId = util::Id<FuTag>;
+using ConstantId = util::Id<ConstantTag>;
+
+enum class PortDir { kInput, kOutput };
+
+/// Data ports carry test vectors; control ports are single- or few-bit
+/// signals the paper handles via 1-bit bypass multiplexers (Section 4).
+enum class PortKind { kData, kControl };
+
+struct Port {
+  std::string name;
+  PortDir dir = PortDir::kInput;
+  PortKind kind = PortKind::kData;
+  unsigned width = 1;
+};
+
+struct Register {
+  std::string name;
+  unsigned width = 1;
+  /// True if the register has a load-enable input (HSCAN then needs an OR
+  /// gate on the load signal to force loading in scan mode; registers that
+  /// load every cycle need a hold path instead).
+  bool has_load_enable = true;
+};
+
+struct Mux {
+  std::string name;
+  unsigned width = 1;
+  unsigned num_inputs = 2;
+};
+
+/// Functional unit behaviours understood by the gate-level elaborator.
+enum class FuKind {
+  kAdd,          ///< two-input ripple-carry adder (carry discarded)
+  kSub,          ///< two-input subtractor
+  kIncrement,    ///< one-input +1
+  kAnd,          ///< bitwise AND
+  kOr,           ///< bitwise OR
+  kXor,          ///< bitwise XOR
+  kNot,          ///< bitwise NOT (one input)
+  kShiftLeft,    ///< one-input logical shift left by 1
+  kShiftRight,   ///< one-input logical shift right by 1
+  kEqual,        ///< two-input equality comparator (1-bit output)
+  kLess,         ///< two-input unsigned less-than (1-bit output)
+  kAlu,          ///< multi-function ALU (2 data inputs + 2-bit op select)
+  kRandomLogic,  ///< synthesized random control cloud, seeded & sized below
+  kBuf,          ///< wiring pass-through (used for port proxies when
+                 ///< flattening a chip); elaborates to zero gates
+};
+
+struct FunctionalUnit {
+  std::string name;
+  FuKind kind = FuKind::kAdd;
+  /// Output width.  Comparators have output width 1 regardless.
+  unsigned width = 1;
+  unsigned num_inputs = 2;
+  /// For kRandomLogic: deterministic seed and approximate gate count used
+  /// by the elaborator to synthesize a control cloud.
+  std::uint64_t seed = 0;
+  unsigned gate_hint = 0;
+};
+
+struct Constant {
+  std::string name;
+  util::BitVector value;
+};
+
+}  // namespace socet::rtl

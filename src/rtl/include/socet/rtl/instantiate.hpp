@@ -1,0 +1,29 @@
+// Hierarchical instantiation: copy one netlist (a core) into another (the
+// flattened chip), renaming components with a prefix and replacing each
+// core port with a width-preserving buffer proxy.
+//
+// After instantiation the caller wires the chip by connecting into the
+// input proxies (`fu_in(proxy, 0)`) and from the output proxies
+// (`fu_out(proxy)`).  Proxies elaborate to pure wiring, so flattening does
+// not distort area or fault counts.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "socet/rtl/netlist.hpp"
+
+namespace socet::rtl {
+
+struct Instance {
+  /// Core port name -> proxy buffer FU in the destination netlist.
+  std::map<std::string, FuId> port_proxies;
+};
+
+/// Copies every component and connection of `core` into `chip`, prefixing
+/// names with `prefix` + ".".  Core ports become kBuf proxy FUs (also
+/// prefixed).  Returns the proxy map.
+Instance instantiate(Netlist& chip, const Netlist& core,
+                     const std::string& prefix);
+
+}  // namespace socet::rtl

@@ -1,0 +1,63 @@
+// Register-transfer path enumeration.
+//
+// A *transfer path* is a combinational route from one storage/interface
+// node (input port, register) to the next (register, output port), passing
+// only through multiplexers.  These are exactly the edges of the paper's
+// register connectivity graph (RCG): data can move along a transfer path in
+// a single clock cycle by setting the mux selects recorded on the path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "socet/rtl/netlist.hpp"
+
+namespace socet::rtl {
+
+enum class NodeKind : std::uint8_t { kInputPort, kOutputPort, kRegister };
+
+/// A node of the RCG: an input port, an output port, or a register.
+struct NodeRef {
+  NodeKind kind = NodeKind::kRegister;
+  std::uint32_t index = 0;  ///< into Netlist::ports() / registers()
+
+  friend bool operator==(const NodeRef&, const NodeRef&) = default;
+  friend auto operator<=>(const NodeRef&, const NodeRef&) = default;
+};
+
+/// One multiplexer traversed by a transfer path, and which data input the
+/// path enters through (the select value testing logic must force).
+struct MuxHop {
+  MuxId mux;
+  unsigned data_index = 0;
+};
+
+struct TransferPath {
+  NodeRef src;
+  NodeRef dst;
+  unsigned src_lo = 0;  ///< first source bit carried
+  unsigned dst_lo = 0;  ///< first destination bit written
+  unsigned width = 1;
+  std::vector<MuxHop> hops;  ///< empty ⇒ direct wire
+
+  [[nodiscard]] bool direct() const { return hops.empty(); }
+};
+
+/// Enumerate every transfer path in the netlist.  Paths are maximal with
+/// respect to slicing: two adjacent bit ranges flowing through the same
+/// mux chain appear as separate paths only if the connections slice them.
+std::vector<TransferPath> enumerate_transfer_paths(const Netlist& netlist);
+
+/// Width of a node (port width or register width).
+unsigned node_width(const Netlist& netlist, const NodeRef& node);
+
+/// Display name of a node, e.g. "Data" or "IR".
+std::string node_name(const Netlist& netlist, const NodeRef& node);
+
+/// Node covering an input/output port.
+NodeRef port_node(const Netlist& netlist, PortId id);
+/// Node covering a register.
+NodeRef register_node(RegisterId id);
+
+}  // namespace socet::rtl

@@ -1,0 +1,37 @@
+// Text serialization of RTL netlists.
+//
+// A line-oriented, diff-friendly dump of everything the netlist holds:
+// ports, registers, muxes, functional units (including seeded control
+// clouds), constants and bit-sliced connections.  Round-trips exactly —
+// the parsed netlist is structurally identical, elaborates to the same
+// gates, and simulates identically — so reconstructed or user-authored
+// cores can live in version control as data.
+//
+// Format sketch ('#' comments allowed):
+//
+//   socet-rtl v1
+//   netlist CPU
+//   input Data data 8
+//   output AddrLo data 8
+//   register IR 8 load
+//   mux M 8 2
+//   fu INCPC increment 8 1
+//   randomlogic CTRL 14 24 2600 201
+//   constant KTHR 8 01000000
+//   connect port:Data 0 -> mux:M.in0 0 8
+//   connect reg:IR.q 4 -> mux:m_sr.in0 0 4
+//   end
+#pragma once
+
+#include <string>
+
+#include "socet/rtl/netlist.hpp"
+
+namespace socet::rtl {
+
+std::string serialize_netlist(const Netlist& netlist);
+
+/// Throws util::Error with a line number on malformed input.
+Netlist parse_netlist(const std::string& text);
+
+}  // namespace socet::rtl

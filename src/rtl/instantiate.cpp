@@ -1,0 +1,105 @@
+#include "socet/rtl/instantiate.hpp"
+
+namespace socet::rtl {
+
+Instance instantiate(Netlist& chip, const Netlist& core,
+                     const std::string& prefix) {
+  Instance inst;
+
+  // Component-by-component copy, remembering the new indices.
+  std::vector<FuId> port_proxy(core.ports().size());
+  std::vector<RegisterId> reg_map(core.registers().size());
+  std::vector<MuxId> mux_map(core.muxes().size());
+  std::vector<FuId> fu_map(core.fus().size());
+  std::vector<ConstantId> const_map(core.constants().size());
+
+  auto prefixed = [&prefix](const std::string& name) {
+    return prefix + "." + name;
+  };
+
+  for (std::size_t i = 0; i < core.ports().size(); ++i) {
+    const Port& p = core.ports()[i];
+    port_proxy[i] = chip.add_fu(prefixed(p.name), FuKind::kBuf, p.width, 1);
+    inst.port_proxies[p.name] = port_proxy[i];
+  }
+  for (std::size_t i = 0; i < core.registers().size(); ++i) {
+    const Register& r = core.registers()[i];
+    reg_map[i] = chip.add_register(prefixed(r.name), r.width, r.has_load_enable);
+  }
+  for (std::size_t i = 0; i < core.muxes().size(); ++i) {
+    const Mux& m = core.muxes()[i];
+    mux_map[i] = chip.add_mux(prefixed(m.name), m.width, m.num_inputs);
+  }
+  for (std::size_t i = 0; i < core.fus().size(); ++i) {
+    const FunctionalUnit& f = core.fus()[i];
+    if (f.kind == FuKind::kRandomLogic) {
+      const unsigned in_width =
+          core.pin_width(core.fu_in(FuId(static_cast<std::uint32_t>(i)), 0));
+      fu_map[i] = chip.add_random_logic(prefixed(f.name), in_width, f.width,
+                                        f.gate_hint, f.seed);
+    } else {
+      fu_map[i] = chip.add_fu(prefixed(f.name), f.kind, f.width, f.num_inputs);
+    }
+  }
+  for (std::size_t i = 0; i < core.constants().size(); ++i) {
+    const Constant& c = core.constants()[i];
+    const_map[i] = chip.add_constant(prefixed(c.name), c.value);
+  }
+
+  // Rewrite a core-side pin to the corresponding chip-side pin.  Core port
+  // pins map onto their proxy buffer: the *driver* side of an input port is
+  // the proxy's output, and the *sink* side of an output port is the
+  // proxy's input.
+  auto map_pin = [&](const PinRef& pin, bool as_driver) -> PinRef {
+    switch (pin.comp.kind) {
+      case CompKind::kPort: {
+        const FuId proxy = port_proxy[pin.comp.index];
+        return as_driver ? chip.fu_out(proxy) : chip.fu_in(proxy, 0);
+      }
+      case CompKind::kRegister: {
+        const RegisterId id = reg_map[pin.comp.index];
+        switch (pin.role) {
+          case PinRole::kRegD:
+            return chip.reg_d(id);
+          case PinRole::kRegQ:
+            return chip.reg_q(id);
+          case PinRole::kRegLoad:
+            return chip.reg_load(id);
+          default:
+            util::raise("instantiate: bad register pin role");
+        }
+      }
+      case CompKind::kMux: {
+        const MuxId id = mux_map[pin.comp.index];
+        switch (pin.role) {
+          case PinRole::kMuxData:
+            return chip.mux_in(id, pin.arg);
+          case PinRole::kMuxSelect:
+            return chip.mux_select(id);
+          case PinRole::kMuxOut:
+            return chip.mux_out(id);
+          default:
+            util::raise("instantiate: bad mux pin role");
+        }
+      }
+      case CompKind::kFu: {
+        const FuId id = fu_map[pin.comp.index];
+        return pin.role == PinRole::kFuIn ? chip.fu_in(id, pin.arg)
+                                          : chip.fu_out(id);
+      }
+      case CompKind::kConstant:
+        return chip.const_out(const_map[pin.comp.index]);
+    }
+    util::raise("instantiate: unknown component kind");
+  };
+
+  for (const Connection& conn : core.connections()) {
+    const PinRef from = map_pin(conn.from, /*as_driver=*/true);
+    const PinRef to = map_pin(conn.to, /*as_driver=*/false);
+    chip.connect(from, conn.from_lo, to, conn.to_lo, conn.width);
+  }
+
+  return inst;
+}
+
+}  // namespace socet::rtl

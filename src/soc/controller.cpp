@@ -1,0 +1,113 @@
+#include "socet/soc/controller.hpp"
+
+#include <algorithm>
+
+namespace socet::soc {
+
+ControllerSpec derive_controller_spec(const Soc& soc, const Ccg& ccg,
+                                      const ChipTestPlan& plan) {
+  ControllerSpec spec;
+  spec.core_count = static_cast<unsigned>(soc.cores().size());
+  for (const CoreTestPlan& core_plan : plan.cores) {
+    spec.period = std::max(spec.period, core_plan.period);
+  }
+  spec.clock_enables.assign(spec.period,
+                            util::BitVector(spec.core_count));
+
+  // A core's clock must run in every cycle one of its transparency edges
+  // carries data during the (repeating) justification period.
+  for (const CoreTestPlan& core_plan : plan.cores) {
+    for (const auto& [port, route] : core_plan.input_routes) {
+      for (const RouteStep& step : route.steps) {
+        const CcgEdge& edge = ccg.edges()[step.edge];
+        if (edge.core < 0) continue;
+        for (unsigned t = step.depart;
+             t < step.arrive && t < spec.period; ++t) {
+          spec.clock_enables[t].set(static_cast<unsigned>(edge.core), true);
+        }
+      }
+    }
+    // The core under test captures at the end of the period.
+    spec.clock_enables[spec.period - 1].set(core_plan.core, true);
+  }
+  return spec;
+}
+
+rtl::Netlist generate_controller_rtl(const ControllerSpec& spec) {
+  rtl::Netlist n("TestController");
+  util::require(spec.core_count > 0, "controller: no cores");
+  util::require(!spec.clock_enables.empty(), "controller: empty schedule");
+
+  unsigned counter_bits = 1;
+  while ((1u << counter_bits) < spec.period) ++counter_bits;
+
+  auto test_mode = n.add_input("TestMode", 1, rtl::PortKind::kControl);
+  auto clk_en = n.add_output("ClockEnable", spec.core_count,
+                             rtl::PortKind::kControl);
+  auto strobe = n.add_output("ScanStrobe", 1, rtl::PortKind::kControl);
+
+  // Cycle counter: wraps at the period (counter + 1 muxed with 0).
+  auto counter = n.add_register("CYCLE", counter_bits,
+                                /*has_load_enable=*/false);
+  auto inc = n.add_fu("INC", rtl::FuKind::kIncrement, counter_bits, 1);
+  auto wrap_cmp = n.add_fu("WRAP", rtl::FuKind::kEqual, counter_bits, 2);
+  auto last = n.add_constant(
+      "LAST", util::BitVector(counter_bits, spec.period - 1));
+  auto zero = n.add_constant("ZERO", util::BitVector(counter_bits, 0));
+  auto m = n.add_mux("m_cnt", counter_bits, 2);
+  n.connect(n.reg_q(counter), n.fu_in(inc, 0));
+  n.connect(n.reg_q(counter), n.fu_in(wrap_cmp, 0));
+  n.connect(n.const_out(last), n.fu_in(wrap_cmp, 1));
+  n.connect(n.fu_out(inc), n.mux_in(m, 0));
+  n.connect(n.const_out(zero), n.mux_in(m, 1));
+  n.connect(n.fu_out(wrap_cmp), 0, n.mux_select(m), 0, 1);
+  n.connect(n.mux_out(m), n.reg_d(counter));
+
+  // Decode ROM: per core, OR of comparators against the cycles in which
+  // its clock runs.  Built as an equality-compare per distinct enabled
+  // cycle, OR-reduced through kOr units, then gated by TestMode.
+  for (unsigned core = 0; core < spec.core_count; ++core) {
+    std::optional<rtl::PinRef> acc;
+    for (unsigned t = 0; t < spec.clock_enables.size(); ++t) {
+      if (!spec.clock_enables[t].get(core)) continue;
+      auto cmp = n.add_fu("EQ_c" + std::to_string(core) + "_t" +
+                              std::to_string(t),
+                          rtl::FuKind::kEqual, counter_bits, 2);
+      auto k = n.add_constant(
+          "T" + std::to_string(core) + "_" + std::to_string(t),
+          util::BitVector(counter_bits, t));
+      n.connect(n.reg_q(counter), n.fu_in(cmp, 0));
+      n.connect(n.const_out(k), n.fu_in(cmp, 1));
+      if (!acc) {
+        acc = n.fu_out(cmp);
+      } else {
+        auto oru = n.add_fu("OR_c" + std::to_string(core) + "_t" +
+                                std::to_string(t),
+                            rtl::FuKind::kOr, 1, 2);
+        n.connect(*acc, 0, n.fu_in(oru, 0), 0, 1);
+        n.connect(n.fu_out(cmp), 0, n.fu_in(oru, 1), 0, 1);
+        acc = n.fu_out(oru);
+      }
+    }
+    // Gate with TestMode (functional mode: clocks free-run, handled
+    // off-chip; the enable output is only honoured in test mode).
+    auto gate = n.add_fu("EN_c" + std::to_string(core), rtl::FuKind::kAnd,
+                         1, 2);
+    if (acc) {
+      n.connect(*acc, 0, n.fu_in(gate, 0), 0, 1);
+    }  // else input 0 reads as constant 0
+    n.connect(n.pin(test_mode), 0, n.fu_in(gate, 1), 0, 1);
+    n.connect(n.fu_out(gate), 0, n.pin(clk_en), core, 1);
+  }
+
+  // Scan strobe: asserted on the wrap cycle.
+  auto strobe_gate = n.add_fu("STROBE", rtl::FuKind::kAnd, 1, 2);
+  n.connect(n.fu_out(wrap_cmp), 0, n.fu_in(strobe_gate, 0), 0, 1);
+  n.connect(n.pin(test_mode), 0, n.fu_in(strobe_gate, 1), 0, 1);
+  n.connect(n.fu_out(strobe_gate), 0, n.pin(strobe), 0, 1);
+
+  n.validate();
+  return n;
+}
+
+}  // namespace socet::soc

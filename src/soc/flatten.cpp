@@ -1,0 +1,46 @@
+#include "socet/soc/flatten.hpp"
+
+namespace socet::soc {
+
+FlattenResult flatten(const Soc& soc) {
+  FlattenResult result;
+  result.chip = rtl::Netlist(soc.name());
+  rtl::Netlist& chip = result.chip;
+
+  std::vector<rtl::PortId> pi_ports;
+  std::vector<rtl::PortId> po_ports;
+  for (const ChipPin& pin : soc.pis()) {
+    pi_ports.push_back(chip.add_input(pin.name, pin.width));
+  }
+  for (const ChipPin& pin : soc.pos()) {
+    po_ports.push_back(chip.add_output(pin.name, pin.width));
+  }
+  for (const core::Core* core : soc.cores()) {
+    result.instances.push_back(
+        rtl::instantiate(chip, core->netlist(), core->name()));
+  }
+
+  auto driver_pin = [&](const std::variant<PiId, CorePortRef>& from) {
+    if (const auto* pi = std::get_if<PiId>(&from)) {
+      return chip.pin(pi_ports.at(pi->index()));
+    }
+    const auto& ref = std::get<CorePortRef>(from);
+    const auto& name = soc.core(ref.core).netlist().port(ref.port).name;
+    return chip.fu_out(result.instances[ref.core].port_proxies.at(name));
+  };
+  auto sink_pin = [&](const std::variant<PoId, CorePortRef>& to) {
+    if (const auto* po = std::get_if<PoId>(&to)) {
+      return chip.pin(po_ports.at(po->index()));
+    }
+    const auto& ref = std::get<CorePortRef>(to);
+    const auto& name = soc.core(ref.core).netlist().port(ref.port).name;
+    return chip.fu_in(result.instances[ref.core].port_proxies.at(name), 0);
+  };
+  for (const Link& link : soc.links()) {
+    chip.connect(driver_pin(link.from), sink_pin(link.to));
+  }
+  chip.validate();
+  return result;
+}
+
+}  // namespace socet::soc

@@ -1,0 +1,38 @@
+// Chip test controller generation — the "small finite-state machine"
+// of Section 5.2.
+//
+// During test application, something on-chip must sequence each core's
+// transparency-mode selects, freeze per-core clocks while data is in
+// flight, and pulse the core under test's scan clock once per delivered
+// vector.  From a ChipTestPlan this module generates that controller as
+// ordinary RTL: a cycle counter spanning the longest per-vector period, a
+// vector counter, and a decoded control word per core (clock-enable +
+// transparency-mode strobe), so the controller's area is *measured* from
+// its own elaboration rather than guessed.
+#pragma once
+
+#include "socet/soc/schedule.hpp"
+
+namespace socet::soc {
+
+struct ControllerSpec {
+  /// Cycle-accurate control words: for each cycle of the longest period,
+  /// a bit per core: 1 = the core's clock runs this cycle.
+  std::vector<util::BitVector> clock_enables;
+  unsigned period = 1;
+  unsigned core_count = 0;
+};
+
+/// Derive the per-cycle clock-enable schedule from a plan: an intermediate
+/// core's clock runs exactly while one of its transparency edges carries
+/// data (a route step of some justification route), and the core under
+/// test captures on the last cycle of the period.
+ControllerSpec derive_controller_spec(const Soc& soc, const Ccg& ccg,
+                                      const ChipTestPlan& plan);
+
+/// Generate the controller as RTL: cycle counter + decode logic producing
+/// one clock-enable output per core plus a scan strobe.  Elaborate it to
+/// measure the real controller area.
+rtl::Netlist generate_controller_rtl(const ControllerSpec& spec);
+
+}  // namespace socet::soc

@@ -1,0 +1,28 @@
+// Flatten a Soc into a single RTL netlist (cores instantiated with their
+// names as prefixes, chip pins as ports, links as connections).
+//
+// The flat netlist is what the whole-chip rows of Table 3 are measured
+// on: elaborate it to gates and fault-simulate functionally ("Orig."), or
+// elaborate it with each core's scan chains physically inserted ("HSCAN"
+// — which shows why core-level DFT alone leaves chip-level coverage low:
+// the chains' scan-in pins hang on internal nets).
+#pragma once
+
+#include <vector>
+
+#include "socet/rtl/instantiate.hpp"
+#include "socet/soc/soc.hpp"
+
+namespace socet::soc {
+
+struct FlattenResult {
+  rtl::Netlist chip;
+  /// Per core (same order as Soc::cores()): the port-proxy map.
+  std::vector<rtl::Instance> instances;
+
+  FlattenResult() : chip("") {}
+};
+
+FlattenResult flatten(const Soc& soc);
+
+}  // namespace socet::soc

@@ -1,0 +1,48 @@
+// Parallel test scheduling — the extension the paper leaves on the table
+// (its global TAT simply sums per-core sessions).
+//
+// Two cores can be tested *simultaneously* when their test sessions are
+// compatible: neither is used as a transparency conduit by the other, and
+// their justification/observation routes touch disjoint CCG resources
+// (PIs, interconnect wires, transparency serial groups) — otherwise one
+// session's data would corrupt the other's.  Under those conditions the
+// chip TAT becomes the sum over *sessions* of the longest member, not the
+// sum over cores.
+//
+// The scheduler is the classic greedy conflict-graph coloring used by the
+// post-1998 SOC test-scheduling literature: sort cores by decreasing TAT,
+// open a new session only when a core conflicts with every existing one.
+#pragma once
+
+#include <vector>
+
+#include "socet/soc/schedule.hpp"
+
+namespace socet::soc {
+
+struct ParallelSchedule {
+  /// Each session: core indices tested concurrently.
+  std::vector<std::vector<std::uint32_t>> sessions;
+  /// Sum over sessions of the slowest member's TAT.
+  unsigned long long total_tat = 0;
+  /// The sequential TAT (sum over cores), for comparison.
+  unsigned long long sequential_tat = 0;
+
+  [[nodiscard]] double speedup() const {
+    return total_tat == 0 ? 1.0
+                          : static_cast<double>(sequential_tat) /
+                                static_cast<double>(total_tat);
+  }
+};
+
+/// True if testing `a` and `b` concurrently is safe under `plan`.
+bool sessions_compatible(const Soc& soc, const Ccg& ccg,
+                         const ChipTestPlan& plan, std::uint32_t a,
+                         std::uint32_t b);
+
+/// Greedy parallel schedule for `plan`.
+ParallelSchedule schedule_parallel(const Soc& soc,
+                                   const std::vector<unsigned>& selection,
+                                   const ChipTestPlan& plan);
+
+}  // namespace socet::soc

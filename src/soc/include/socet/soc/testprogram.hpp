@@ -1,0 +1,59 @@
+// Chip-level test program assembly.
+//
+// A ChipTestPlan says *which* routes carry data *when*; a tester needs the
+// flattened consequence: for each core under test, a per-vector frame of
+// timed events — drive this PI slice at cycle t with the vector's bits for
+// that core input, let these cores' clocks run, capture at the frame's
+// end, and strobe these POs when responses emerge.  This module assembles
+// that program (symbolically over vector indices, since the actual bits
+// are each core's precomputed test set) and renders it as text for
+// inspection or an ATE-format generator to consume.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "socet/soc/ccg.hpp"
+#include "socet/soc/schedule.hpp"
+
+namespace socet::soc {
+
+struct TestProgramEvent {
+  enum class Kind : std::uint8_t {
+    kDrivePi,    ///< apply the vector slice for `target` at `pi`
+    kTransfer,   ///< data crosses a transparency edge (core clocks run)
+    kCapture,    ///< the core under test captures the delivered vector
+    kObservePo,  ///< a response slice emerges at `po`
+  };
+  Kind kind = Kind::kDrivePi;
+  unsigned cycle = 0;  ///< within the repeating per-vector frame
+  std::uint32_t pi = 0;
+  std::uint32_t po = 0;
+  /// Core whose clock must run (kTransfer) or that captures (kCapture).
+  std::uint32_t core = 0;
+  /// The core-under-test port this event serves.
+  rtl::PortId target;
+};
+
+struct CoreTestProgram {
+  std::uint32_t core = 0;
+  unsigned period = 1;
+  unsigned vectors = 0;
+  std::vector<TestProgramEvent> frame;  ///< events of one vector frame
+  unsigned long long total_cycles = 0;
+};
+
+struct TestProgram {
+  std::vector<CoreTestProgram> cores;
+  unsigned long long total_cycles = 0;
+};
+
+/// Assemble the program implied by `plan`.
+TestProgram assemble_test_program(const Soc& soc,
+                                  const std::vector<unsigned>& selection,
+                                  const ChipTestPlan& plan);
+
+/// Human-readable rendering (used by the walkthrough example).
+std::string describe_test_program(const Soc& soc, const TestProgram& program);
+
+}  // namespace socet::soc

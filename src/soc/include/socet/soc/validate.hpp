@@ -1,0 +1,29 @@
+// Chip-test-plan validation.
+//
+// A ChipTestPlan is only as good as its schedule: every route must be a
+// connected CCG path with consistent step timing, no two routes of the
+// same core's justification phase may occupy a shared resource in
+// overlapping cycle windows (that is exactly what the reservations are
+// for), and the per-core TAT must match the vectors x period + flush
+// accounting.  The validator re-derives all of this from first principles
+// so the scheduler's bookkeeping is independently checkable — the
+// property suite runs it over randomized SOCs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "socet/soc/schedule.hpp"
+
+namespace socet::soc {
+
+/// Returns human-readable violations; empty means the plan is sound.
+/// Pass the same options the plan was made with (TAT accounting and the
+/// exclusivity rules depend on them; a naive ignore_reservations plan
+/// fails validation by design).
+std::vector<std::string> validate_plan(const Soc& soc,
+                                       const std::vector<unsigned>& selection,
+                                       const ChipTestPlan& plan,
+                                       const PlanOptions& options = {});
+
+}  // namespace socet::soc

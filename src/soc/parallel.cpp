@@ -1,0 +1,105 @@
+#include "socet/soc/parallel.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace socet::soc {
+
+namespace {
+
+/// Everything a core's test session occupies: the cores whose clocks it
+/// drives (conduits + itself) and the CCG resources its routes reserve.
+struct SessionFootprint {
+  std::set<std::uint32_t> cores;      ///< conduit cores + the CUT
+  std::set<std::uint32_t> resources;  ///< CCG resource ids
+};
+
+SessionFootprint footprint(const Ccg& ccg, const CoreTestPlan& plan) {
+  SessionFootprint fp;
+  fp.cores.insert(plan.core);
+  auto absorb = [&](const Route& route) {
+    for (const RouteStep& step : route.steps) {
+      const CcgEdge& edge = ccg.edges()[step.edge];
+      fp.resources.insert(edge.resource);
+      if (edge.core >= 0) {
+        fp.cores.insert(static_cast<std::uint32_t>(edge.core));
+      }
+    }
+  };
+  for (const auto& [port, route] : plan.input_routes) absorb(route);
+  for (const auto& [port, route] : plan.output_routes) absorb(route);
+  return fp;
+}
+
+bool disjoint(const std::set<std::uint32_t>& a,
+              const std::set<std::uint32_t>& b) {
+  for (std::uint32_t x : a) {
+    if (b.count(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool sessions_compatible(const Soc& soc, const Ccg& ccg,
+                         const ChipTestPlan& plan, std::uint32_t a,
+                         std::uint32_t b) {
+  (void)soc;
+  const CoreTestPlan* plan_a = nullptr;
+  const CoreTestPlan* plan_b = nullptr;
+  for (const auto& core_plan : plan.cores) {
+    if (core_plan.core == a) plan_a = &core_plan;
+    if (core_plan.core == b) plan_b = &core_plan;
+  }
+  util::require(plan_a != nullptr && plan_b != nullptr,
+                "sessions_compatible: core not in plan");
+  const SessionFootprint fa = footprint(ccg, *plan_a);
+  const SessionFootprint fb = footprint(ccg, *plan_b);
+  // A core being tested is in scan mode and cannot serve as the other
+  // session's conduit; shared resources would interleave two data streams.
+  return disjoint(fa.cores, fb.cores) && disjoint(fa.resources, fb.resources);
+}
+
+ParallelSchedule schedule_parallel(const Soc& soc,
+                                   const std::vector<unsigned>& selection,
+                                   const ChipTestPlan& plan) {
+  Ccg ccg(soc, selection);
+  ParallelSchedule schedule;
+  schedule.sequential_tat = plan.total_tat;
+
+  // Longest-first greedy packing.
+  std::vector<const CoreTestPlan*> order;
+  for (const auto& core_plan : plan.cores) order.push_back(&core_plan);
+  std::sort(order.begin(), order.end(),
+            [](const CoreTestPlan* x, const CoreTestPlan* y) {
+              return x->tat > y->tat;
+            });
+
+  std::vector<SessionFootprint> session_footprints;
+  std::vector<unsigned long long> session_tats;
+  for (const CoreTestPlan* core_plan : order) {
+    const SessionFootprint fp = footprint(ccg, *core_plan);
+    bool placed = false;
+    for (std::size_t s = 0; s < schedule.sessions.size(); ++s) {
+      if (disjoint(session_footprints[s].cores, fp.cores) &&
+          disjoint(session_footprints[s].resources, fp.resources)) {
+        schedule.sessions[s].push_back(core_plan->core);
+        session_footprints[s].cores.insert(fp.cores.begin(), fp.cores.end());
+        session_footprints[s].resources.insert(fp.resources.begin(),
+                                               fp.resources.end());
+        session_tats[s] = std::max(session_tats[s], core_plan->tat);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      schedule.sessions.push_back({core_plan->core});
+      session_footprints.push_back(fp);
+      session_tats.push_back(core_plan->tat);
+    }
+  }
+  for (unsigned long long tat : session_tats) schedule.total_tat += tat;
+  return schedule;
+}
+
+}  // namespace socet::soc

@@ -1,0 +1,127 @@
+#include "socet/soc/testprogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace socet::soc {
+
+namespace {
+constexpr std::uint32_t kSystemMuxPin = ~0u;
+}  // namespace
+
+TestProgram assemble_test_program(const Soc& soc,
+                                  const std::vector<unsigned>& selection,
+                                  const ChipTestPlan& plan) {
+  Ccg ccg(soc, selection);
+  TestProgram program;
+
+  for (const CoreTestPlan& core_plan : plan.cores) {
+    CoreTestProgram cp;
+    cp.core = core_plan.core;
+    cp.period = core_plan.period;
+    cp.vectors = soc.core(core_plan.core).hscan_vectors();
+    cp.total_cycles = core_plan.tat;
+
+    for (const auto& [port, route] : core_plan.input_routes) {
+      if (route.via_system_mux) {
+        // Direct drive through the inserted mux: the PI assignment is
+        // synthetic (the mux's source pin), modeled as a drive at cycle 0.
+        TestProgramEvent ev;
+        ev.kind = TestProgramEvent::Kind::kDrivePi;
+        ev.cycle = 0;
+        ev.pi = kSystemMuxPin;
+        ev.target = port;
+        cp.frame.push_back(ev);
+        continue;
+      }
+      for (std::size_t s = 0; s < route.steps.size(); ++s) {
+        const RouteStep& step = route.steps[s];
+        const CcgEdge& edge = ccg.edges()[step.edge];
+        if (s == 0) {
+          TestProgramEvent ev;
+          ev.kind = TestProgramEvent::Kind::kDrivePi;
+          ev.cycle = step.depart;
+          ev.pi = ccg.nodes()[edge.src].pin;
+          ev.target = port;
+          cp.frame.push_back(ev);
+        }
+        if (edge.core >= 0) {
+          TestProgramEvent ev;
+          ev.kind = TestProgramEvent::Kind::kTransfer;
+          ev.cycle = step.depart;
+          ev.core = static_cast<std::uint32_t>(edge.core);
+          ev.target = port;
+          cp.frame.push_back(ev);
+        }
+      }
+    }
+
+    TestProgramEvent capture;
+    capture.kind = TestProgramEvent::Kind::kCapture;
+    capture.cycle = core_plan.period == 0 ? 0 : core_plan.period - 1;
+    capture.core = core_plan.core;
+    cp.frame.push_back(capture);
+
+    for (const auto& [port, route] : core_plan.output_routes) {
+      TestProgramEvent ev;
+      ev.kind = TestProgramEvent::Kind::kObservePo;
+      ev.target = port;
+      if (route.via_system_mux || route.steps.empty()) {
+        ev.cycle = capture.cycle;
+      } else {
+        ev.cycle = capture.cycle + route.arrival;
+        ev.po = ccg.nodes()[ccg.edges()[route.steps.back().edge].dst].pin;
+      }
+      cp.frame.push_back(ev);
+    }
+
+    std::stable_sort(cp.frame.begin(), cp.frame.end(),
+                     [](const TestProgramEvent& a, const TestProgramEvent& b) {
+                       return a.cycle < b.cycle;
+                     });
+    program.total_cycles += cp.total_cycles;
+    program.cores.push_back(std::move(cp));
+  }
+  return program;
+}
+
+std::string describe_test_program(const Soc& soc,
+                                  const TestProgram& program) {
+  std::ostringstream out;
+  out << "chip test program: " << program.total_cycles << " cycles total\n";
+  for (const CoreTestProgram& cp : program.cores) {
+    const core::Core& cut = soc.core(cp.core);
+    out << "-- " << cut.name() << ": " << cp.vectors
+        << " vectors x period " << cp.period << " -> " << cp.total_cycles
+        << " cycles; per-vector frame:\n";
+    for (const TestProgramEvent& ev : cp.frame) {
+      out << "   t+" << ev.cycle << ": ";
+      switch (ev.kind) {
+        case TestProgramEvent::Kind::kDrivePi:
+          if (ev.pi == kSystemMuxPin) {
+            out << "drive system test mux with V[k]."
+                << cut.netlist().port(ev.target).name;
+          } else {
+            out << "drive " << soc.pis().at(ev.pi).name << " with V[k]."
+                << cut.netlist().port(ev.target).name;
+          }
+          break;
+        case TestProgramEvent::Kind::kTransfer:
+          out << "run clock of " << soc.core(ev.core).name()
+              << " (transparency toward "
+              << cut.netlist().port(ev.target).name << ")";
+          break;
+        case TestProgramEvent::Kind::kCapture:
+          out << "capture into " << cut.name() << " scan chains";
+          break;
+        case TestProgramEvent::Kind::kObservePo:
+          out << "strobe response of " << cut.netlist().port(ev.target).name;
+          break;
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace socet::soc

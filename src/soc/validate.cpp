@@ -1,0 +1,164 @@
+#include "socet/soc/validate.hpp"
+
+#include <map>
+
+#include "socet/soc/ccg.hpp"
+
+namespace socet::soc {
+
+namespace {
+
+unsigned duration_of(const CcgEdge& edge) { return std::max(edge.latency, 1u); }
+
+}  // namespace
+
+std::vector<std::string> validate_plan(const Soc& soc,
+                                       const std::vector<unsigned>& selection,
+                                       const ChipTestPlan& plan,
+                                       const PlanOptions& options) {
+  std::vector<std::string> violations;
+  auto fail = [&violations](std::string message) {
+    violations.push_back(std::move(message));
+  };
+  Ccg ccg(soc, selection);
+
+  if (plan.cores.size() != soc.cores().size()) {
+    fail("plan does not cover every core");
+    return violations;
+  }
+
+  unsigned long long tat_sum = 0;
+  for (const CoreTestPlan& core_plan : plan.cores) {
+    const core::Core& cut = soc.core(core_plan.core);
+    const std::string who = cut.name();
+
+    // --- route structure and timing -------------------------------------
+    auto check_route = [&](const Route& route, std::uint32_t endpoint,
+                           bool justification, const std::string& label) {
+      if (route.via_system_mux) {
+        if (!route.steps.empty()) {
+          fail(who + "/" + label + ": system-mux route has steps");
+        }
+        return;
+      }
+      if (route.steps.empty()) {
+        fail(who + "/" + label + ": empty route without a system mux");
+        return;
+      }
+      unsigned cursor = 0;
+      for (std::size_t s = 0; s < route.steps.size(); ++s) {
+        const RouteStep& step = route.steps[s];
+        const CcgEdge& edge = ccg.edges()[step.edge];
+        if (step.arrive != step.depart + edge.latency) {
+          fail(who + "/" + label + ": step arrive != depart + latency");
+        }
+        if (step.depart < cursor) {
+          fail(who + "/" + label + ": step departs before data arrives");
+        }
+        cursor = step.arrive;
+        if (s > 0 &&
+            ccg.edges()[route.steps[s - 1].edge].dst != edge.src) {
+          fail(who + "/" + label + ": disconnected route");
+        }
+        if (edge.core == static_cast<std::int32_t>(core_plan.core)) {
+          fail(who + "/" + label +
+               ": route uses the core under test's own transparency");
+        }
+      }
+      if (route.arrival != cursor) {
+        fail(who + "/" + label + ": recorded arrival mismatches steps");
+      }
+      const std::uint32_t first_node =
+          ccg.edges()[route.steps.front().edge].src;
+      const std::uint32_t last_node = ccg.edges()[route.steps.back().edge].dst;
+      if (justification) {
+        if (ccg.nodes()[first_node].kind != CcgNodeKind::kPi) {
+          fail(who + "/" + label + ": justification must start at a PI");
+        }
+        if (last_node != endpoint) {
+          fail(who + "/" + label + ": justification ends at wrong node");
+        }
+      } else {
+        if (first_node != endpoint) {
+          fail(who + "/" + label + ": observation starts at wrong node");
+        }
+        if (ccg.nodes()[last_node].kind != CcgNodeKind::kPo) {
+          fail(who + "/" + label + ": observation must end at a PO");
+        }
+      }
+    };
+
+    unsigned period = 1;
+    for (const auto& [port, route] : core_plan.input_routes) {
+      check_route(route, ccg.core_in_node(CorePortRef{core_plan.core, port}),
+                  /*justification=*/true,
+                  "in:" + cut.netlist().port(port).name);
+      period = std::max(period, std::max(route.arrival, 1u));
+    }
+    unsigned observe = 0;
+    for (const auto& [port, route] : core_plan.output_routes) {
+      check_route(route, ccg.core_out_node(CorePortRef{core_plan.core, port}),
+                  /*justification=*/false,
+                  "out:" + cut.netlist().port(port).name);
+      observe = std::max(observe, route.arrival);
+    }
+
+    // --- resource exclusivity across this core's justification phase ----
+    std::map<std::uint32_t, std::vector<std::pair<unsigned, unsigned>>>
+        windows;
+    for (const auto& [port, route] : core_plan.input_routes) {
+      for (const RouteStep& step : route.steps) {
+        const CcgEdge& edge = ccg.edges()[step.edge];
+        auto& spans = windows[edge.resource];
+        const unsigned lo = step.depart;
+        const unsigned hi = step.depart + duration_of(edge);
+        for (const auto& [olo, ohi] : spans) {
+          if (lo < ohi && olo < hi) {
+            fail(who + ": resource " + std::to_string(edge.resource) +
+                 " double-booked in cycles [" + std::to_string(lo) + "," +
+                 std::to_string(hi) + ")");
+          }
+        }
+        spans.emplace_back(lo, hi);
+      }
+    }
+
+    // --- accounting ------------------------------------------------------
+    if (core_plan.period != period) {
+      fail(who + ": period mismatch (recorded " +
+           std::to_string(core_plan.period) + ", derived " +
+           std::to_string(period) + ")");
+    }
+    const unsigned depth = cut.hscan().max_depth;
+    const unsigned flush = (depth > 0 ? depth - 1 : 0) + observe;
+    if (core_plan.flush != flush) {
+      fail(who + ": flush mismatch");
+    }
+    const unsigned long long vectors = cut.hscan_vectors();
+    unsigned long long tat;
+    if (options.allow_pipelining && vectors > 0) {
+      std::map<std::uint32_t, unsigned> occupancy;
+      unsigned ii = 1;
+      for (const auto& [port, route] : core_plan.input_routes) {
+        for (const RouteStep& step : route.steps) {
+          const CcgEdge& edge = ccg.edges()[step.edge];
+          occupancy[edge.resource] += duration_of(edge);
+          ii = std::max(ii, occupancy[edge.resource]);
+        }
+      }
+      tat = period + (vectors - 1) * ii + flush;
+    } else {
+      tat = vectors * static_cast<unsigned long long>(period) + flush;
+    }
+    if (core_plan.tat != tat) {
+      fail(who + ": TAT mismatch");
+    }
+    tat_sum += core_plan.tat;
+  }
+  if (plan.total_tat != tat_sum) {
+    fail("total TAT does not sum core TATs");
+  }
+  return violations;
+}
+
+}  // namespace socet::soc

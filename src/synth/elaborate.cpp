@@ -1,0 +1,558 @@
+#include "socet/synth/elaborate.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "socet/util/rng.hpp"
+
+namespace socet::synth {
+
+namespace {
+
+using gate::GateId;
+using gate::GateKind;
+using rtl::CompKind;
+using rtl::Connection;
+using rtl::FuId;
+using rtl::FuKind;
+using rtl::MuxId;
+using rtl::Netlist;
+using rtl::PinRef;
+using rtl::PinRole;
+
+class Elaborator {
+ public:
+  explicit Elaborator(const Netlist& rtl, const ScanOptions* scan = nullptr)
+      : rtl_(rtl), scan_(scan) {
+    result_.gates = gate::GateNetlist(rtl.name());
+  }
+
+  Elaboration run() {
+    index_connections();
+    create_sources();
+    if (scan_ != nullptr) prepare_scan();
+    wire_registers();
+    wire_outputs();
+    return std::move(result_);
+  }
+
+ private:
+  gate::GateNetlist& g() { return result_.gates; }
+
+  void index_connections() {
+    for (const Connection& conn : rtl_.connections()) {
+      sinks_[conn.to].push_back(&conn);
+    }
+  }
+
+  GateId const0() {
+    if (!const0_.valid()) const0_ = g().add_gate(GateKind::kConst0, {}, "0");
+    return const0_;
+  }
+  GateId const1() {
+    if (!const1_.valid()) const1_ = g().add_gate(GateKind::kConst1, {}, "1");
+    return const1_;
+  }
+
+  void create_sources() {
+    for (std::size_t i = 0; i < rtl_.ports().size(); ++i) {
+      const auto& port = rtl_.ports()[i];
+      if (port.dir != rtl::PortDir::kInput) continue;
+      auto& bits = result_.input_bits[port.name];
+      for (unsigned b = 0; b < port.width; ++b) {
+        bits.push_back(
+            g().add_input(port.name + "[" + std::to_string(b) + "]"));
+      }
+    }
+    result_.register_bits.resize(rtl_.registers().size());
+    for (std::size_t i = 0; i < rtl_.registers().size(); ++i) {
+      const auto& reg = rtl_.registers()[i];
+      for (unsigned b = 0; b < reg.width; ++b) {
+        result_.register_bits[i].push_back(
+            g().add_dff_floating(reg.name + "[" + std::to_string(b) + "]"));
+      }
+    }
+  }
+
+  /// The gate driving bit `bit` of driver pin `pin`.
+  GateId bit_of(const PinRef& pin, unsigned bit) {
+    const auto key = std::make_pair(pin, bit);
+    if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+    GateId id;
+    switch (pin.role) {
+      case PinRole::kPort: {
+        const auto& port = rtl_.ports()[pin.comp.index];
+        id = result_.input_bits.at(port.name).at(bit);
+        break;
+      }
+      case PinRole::kRegQ:
+        id = result_.register_bits[pin.comp.index].at(bit);
+        break;
+      case PinRole::kConstOut: {
+        const auto& value = rtl_.constants()[pin.comp.index].value;
+        id = value.get(bit) ? const1() : const0();
+        break;
+      }
+      case PinRole::kMuxOut:
+        id = mux_bit(MuxId(pin.comp.index), bit);
+        break;
+      case PinRole::kFuOut:
+        id = fu_bits(FuId(pin.comp.index)).at(bit);
+        break;
+      default:
+        util::raise("elaborate: bit_of on non-driver pin");
+    }
+    memo_.emplace(key, id);
+    return id;
+  }
+
+  /// The gate driving bit `bit` of sink pin `pin`, or nullopt if undriven.
+  std::optional<GateId> sink_bit(const PinRef& pin, unsigned bit) {
+    auto it = sinks_.find(pin);
+    if (it == sinks_.end()) return std::nullopt;
+    for (const Connection* conn : it->second) {
+      if (bit >= conn->to_lo && bit < conn->to_lo + conn->width) {
+        return bit_of(conn->from, conn->from_lo + (bit - conn->to_lo));
+      }
+    }
+    return std::nullopt;
+  }
+
+  GateId sink_bit_or_const0(const PinRef& pin, unsigned bit) {
+    auto driven = sink_bit(pin, bit);
+    return driven ? *driven : const0();
+  }
+
+  /// AND-OR mux bit with full select decoding.  Decode terms are shared
+  /// across bits of the same mux.
+  GateId mux_bit(MuxId id, unsigned bit) {
+    const auto& mux = rtl_.mux(id);
+    const auto& decode = mux_decode(id);
+    std::vector<GateId> terms;
+    terms.reserve(mux.num_inputs);
+    for (unsigned i = 0; i < mux.num_inputs; ++i) {
+      const GateId data = sink_bit_or_const0(rtl_.mux_in(id, i), bit);
+      terms.push_back(g().add_gate(GateKind::kAnd, {data, decode[i]},
+                                   mux.name + ".t" + std::to_string(i)));
+    }
+    if (terms.size() == 1) return terms[0];
+    return g().add_gate(GateKind::kOr, std::move(terms),
+                        mux.name + "[" + std::to_string(bit) + "]");
+  }
+
+  /// One "select == i" decode gate per data input of the mux.
+  const std::vector<GateId>& mux_decode(MuxId id) {
+    auto it = mux_decode_.find(id);
+    if (it != mux_decode_.end()) return it->second;
+
+    const auto& mux = rtl_.mux(id);
+    const PinRef sel_pin = rtl_.mux_select(id);
+    const unsigned sel_width = rtl_.pin_width(sel_pin);
+    std::vector<GateId> sel(sel_width), sel_n(sel_width);
+    for (unsigned b = 0; b < sel_width; ++b) {
+      sel[b] = sink_bit_or_const0(sel_pin, b);
+      sel_n[b] = g().add_gate(GateKind::kNot, {sel[b]},
+                              mux.name + ".seln" + std::to_string(b));
+    }
+    std::vector<GateId> decode;
+    for (unsigned i = 0; i < mux.num_inputs; ++i) {
+      if (sel_width == 1) {
+        decode.push_back((i & 1) ? sel[0] : sel_n[0]);
+        continue;
+      }
+      std::vector<GateId> literals;
+      for (unsigned b = 0; b < sel_width; ++b) {
+        literals.push_back(((i >> b) & 1) ? sel[b] : sel_n[b]);
+      }
+      decode.push_back(g().add_gate(GateKind::kAnd, std::move(literals),
+                                    mux.name + ".d" + std::to_string(i)));
+    }
+    return mux_decode_.emplace(id, std::move(decode)).first->second;
+  }
+
+  const std::vector<GateId>& fu_bits(FuId id) {
+    auto it = fu_out_.find(id);
+    if (it != fu_out_.end()) return it->second;
+    return fu_out_.emplace(id, elaborate_fu(id)).first->second;
+  }
+
+  std::vector<GateId> operand(FuId id, unsigned op) {
+    const PinRef pin = rtl_.fu_in(id, op);
+    const unsigned width = rtl_.pin_width(pin);
+    std::vector<GateId> bits(width);
+    for (unsigned b = 0; b < width; ++b) bits[b] = sink_bit_or_const0(pin, b);
+    return bits;
+  }
+
+  // Ripple adder over equal-width vectors; returns sum bits (carry-out
+  // discarded, as RTL adders here wrap).
+  std::vector<GateId> ripple_add(const std::vector<GateId>& a,
+                                 const std::vector<GateId>& b, GateId carry_in,
+                                 const std::string& name) {
+    std::vector<GateId> sum(a.size());
+    GateId carry = carry_in;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const GateId axb =
+          g().add_gate(GateKind::kXor, {a[i], b[i]}, name + ".x");
+      sum[i] = g().add_gate(GateKind::kXor, {axb, carry}, name + ".s");
+      if (i + 1 == a.size()) break;  // top carry-out is discarded: dead logic
+      const GateId t1 = g().add_gate(GateKind::kAnd, {a[i], b[i]}, name + ".c1");
+      const GateId t2 = g().add_gate(GateKind::kAnd, {axb, carry}, name + ".c2");
+      carry = g().add_gate(GateKind::kOr, {t1, t2}, name + ".c");
+    }
+    return sum;
+  }
+
+  std::vector<GateId> elaborate_fu(FuId id) {
+    const auto& fu = rtl_.fu(id);
+    const std::string& name = fu.name;
+    switch (fu.kind) {
+      case FuKind::kBuf:
+        return operand(id, 0);  // pure wiring
+      case FuKind::kAdd: {
+        return ripple_add(operand(id, 0), operand(id, 1), const0(), name);
+      }
+      case FuKind::kSub: {
+        auto b = operand(id, 1);
+        for (auto& bit : b) {
+          bit = g().add_gate(GateKind::kNot, {bit}, name + ".n");
+        }
+        return ripple_add(operand(id, 0), b, const1(), name);
+      }
+      case FuKind::kIncrement: {
+        auto a = operand(id, 0);
+        std::vector<GateId> sum(a.size());
+        GateId carry = const1();
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          sum[i] = g().add_gate(GateKind::kXor, {a[i], carry}, name + ".s");
+          if (i + 1 == a.size()) break;  // top carry-out is dead logic
+          carry = g().add_gate(GateKind::kAnd, {a[i], carry}, name + ".c");
+        }
+        return sum;
+      }
+      case FuKind::kAnd:
+      case FuKind::kOr:
+      case FuKind::kXor: {
+        auto a = operand(id, 0);
+        auto b = operand(id, 1);
+        const GateKind kind = fu.kind == FuKind::kAnd  ? GateKind::kAnd
+                              : fu.kind == FuKind::kOr ? GateKind::kOr
+                                                       : GateKind::kXor;
+        std::vector<GateId> out(a.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          out[i] = g().add_gate(kind, {a[i], b[i]}, name + ".b");
+        }
+        return out;
+      }
+      case FuKind::kNot: {
+        auto a = operand(id, 0);
+        for (auto& bit : a) {
+          bit = g().add_gate(GateKind::kNot, {bit}, name + ".n");
+        }
+        return a;
+      }
+      case FuKind::kShiftLeft: {
+        auto a = operand(id, 0);
+        std::vector<GateId> out(a.size());
+        out[0] = const0();
+        for (std::size_t i = 1; i < a.size(); ++i) out[i] = a[i - 1];
+        return out;
+      }
+      case FuKind::kShiftRight: {
+        auto a = operand(id, 0);
+        std::vector<GateId> out(a.size());
+        out[a.size() - 1] = const0();
+        for (std::size_t i = 0; i + 1 < a.size(); ++i) out[i] = a[i + 1];
+        return out;
+      }
+      case FuKind::kEqual: {
+        auto a = operand(id, 0);
+        auto b = operand(id, 1);
+        std::vector<GateId> eq(a.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          eq[i] = g().add_gate(GateKind::kXnor, {a[i], b[i]}, name + ".e");
+        }
+        if (eq.size() == 1) return eq;
+        return {g().add_gate(GateKind::kAnd, std::move(eq), name)};
+      }
+      case FuKind::kLess: {
+        auto a = operand(id, 0);
+        auto b = operand(id, 1);
+        // MSB-first ripple comparator: lt = (~a & b) | (a XNOR b) & lt_prev.
+        GateId lt = const0();
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          const GateId an = g().add_gate(GateKind::kNot, {a[i]}, name + ".an");
+          const GateId strict =
+              g().add_gate(GateKind::kAnd, {an, b[i]}, name + ".lt");
+          const GateId eq =
+              g().add_gate(GateKind::kXnor, {a[i], b[i]}, name + ".eq");
+          const GateId carry =
+              g().add_gate(GateKind::kAnd, {eq, lt}, name + ".cr");
+          lt = g().add_gate(GateKind::kOr, {strict, carry}, name + ".or");
+        }
+        return {lt};
+      }
+      case FuKind::kAlu: {
+        auto a = operand(id, 0);
+        auto b = operand(id, 1);
+        auto op = operand(id, 2);  // 2 bits: 00 add, 01 and, 10 or, 11 xor
+        const GateId s0n = g().add_gate(GateKind::kNot, {op[0]}, name + ".s0n");
+        const GateId s1n = g().add_gate(GateKind::kNot, {op[1]}, name + ".s1n");
+        const GateId is_add =
+            g().add_gate(GateKind::kAnd, {s0n, s1n}, name + ".isadd");
+        const GateId is_and =
+            g().add_gate(GateKind::kAnd, {op[0], s1n}, name + ".isand");
+        const GateId is_or =
+            g().add_gate(GateKind::kAnd, {s0n, op[1]}, name + ".isor");
+        const GateId is_xor =
+            g().add_gate(GateKind::kAnd, {op[0], op[1]}, name + ".isxor");
+        const auto sum = ripple_add(a, b, const0(), name);
+        std::vector<GateId> out(a.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          const GateId andv =
+              g().add_gate(GateKind::kAnd, {a[i], b[i]}, name + ".av");
+          const GateId orv =
+              g().add_gate(GateKind::kOr, {a[i], b[i]}, name + ".ov");
+          const GateId xorv =
+              g().add_gate(GateKind::kXor, {a[i], b[i]}, name + ".xv");
+          const GateId t0 =
+              g().add_gate(GateKind::kAnd, {sum[i], is_add}, name + ".m0");
+          const GateId t1 =
+              g().add_gate(GateKind::kAnd, {andv, is_and}, name + ".m1");
+          const GateId t2 =
+              g().add_gate(GateKind::kAnd, {orv, is_or}, name + ".m2");
+          const GateId t3 =
+              g().add_gate(GateKind::kAnd, {xorv, is_xor}, name + ".m3");
+          out[i] = g().add_gate(GateKind::kOr, {t0, t1, t2, t3}, name + ".m");
+        }
+        return out;
+      }
+      case FuKind::kRandomLogic:
+        return elaborate_random_logic(id);
+    }
+    util::raise("elaborate: unknown FU kind");
+  }
+
+  /// Deterministic synthetic controller logic.
+  ///
+  /// A free-form random gate DAG turns out to be a poor stand-in for real
+  /// controller logic: AND/OR-heavy mixes mask reconvergent paths (huge
+  /// redundant-fault populations) and XOR-heavy mixes starve PODEM of
+  /// controlling values.  Instead the cloud is a *mixing pipeline*: a
+  /// vector of wires repeatedly transformed by datapath-like stages (XOR
+  /// blend, carry chain, mux swap, NAND/NOR blend) whose shape is chosen
+  /// by the seeded RNG.  Every gate stays on a live path, reconvergence is
+  /// local, and the structure is as testable as the decoded control logic
+  /// it stands in for.
+  std::vector<GateId> elaborate_random_logic(FuId id) {
+    const auto& fu = rtl_.fu(id);
+    auto in = operand(id, 0);
+    util::Rng rng(fu.seed * 0x9e3779b97f4a7c15ULL + 1);
+    const std::string& name = fu.name;
+    SOCET_ASSERT(!in.empty(), "random logic with zero-width input");
+
+    const unsigned target = std::max(fu.gate_hint, fu.width);
+    std::size_t budget = target;
+
+    // Widening layer: decoded control logic is wide and shallow, so grow
+    // the wire vector to roughly budget/10 wires of distinct pair
+    // functions before mixing.
+    const std::size_t w = std::max<std::size_t>(
+        in.size(), std::min<std::size_t>(128, std::max<std::size_t>(
+                                                  16, target / 10)));
+    std::vector<GateId> state(w);
+    for (std::size_t i = 0; i < w; ++i) {
+      if (i < in.size()) {
+        state[i] = in[i];
+        continue;
+      }
+      const GateId a = in[i % in.size()];
+      const GateId b = in[(i * 7 + 3) % in.size()];
+      static constexpr GateKind pad_kinds[] = {GateKind::kXor, GateKind::kNand,
+                                               GateKind::kNor, GateKind::kXnor};
+      if (a == b) {
+        state[i] = g().add_gate(GateKind::kNot, {a}, name + ".p");
+      } else {
+        state[i] =
+            g().add_gate(pad_kinds[i % 4], {a, b}, name + ".p");
+      }
+      --budget;
+    }
+
+    auto rot = [&](std::size_t i, std::size_t k) { return (i + k) % w; };
+    while (budget > 0) {
+      const std::size_t before = g().gate_count();
+      const std::size_t k = 1 + rng.next_below(std::max<std::size_t>(w - 1, 1));
+      std::vector<GateId> next(w);
+      switch (rng.next_below(4)) {
+        case 0:  // XOR blend with a rotated copy (1 gate/bit)
+          for (std::size_t i = 0; i < w; ++i) {
+            next[i] = g().add_gate(GateKind::kXor,
+                                   {state[i], state[rot(i, k)]}, name + ".x");
+          }
+          break;
+        case 1: {  // segmented carry chains (3 gates/bit, depth <= 4)
+          GateId carry = state[rot(0, k)];
+          for (std::size_t i = 0; i < w; ++i) {
+            if (i % 4 == 0) carry = state[rot(i, k)];
+            const GateId t1 =
+                g().add_gate(GateKind::kAnd, {state[i], carry}, name + ".a");
+            const GateId t2 = g().add_gate(
+                GateKind::kNor, {state[i], state[rot(i, k)]}, name + ".n");
+            next[i] = g().add_gate(GateKind::kOr, {t1, t2}, name + ".o");
+            carry = next[i];
+          }
+          break;
+        }
+        case 2: {  // mux swap controlled by one wire (3 gates/bit)
+          const GateId sel = state[rot(0, k)];
+          const GateId sel_n =
+              g().add_gate(GateKind::kNot, {sel}, name + ".sn");
+          for (std::size_t i = 0; i < w; ++i) {
+            const GateId t1 =
+                g().add_gate(GateKind::kAnd, {sel, state[i]}, name + ".m1");
+            const GateId t2 = g().add_gate(
+                GateKind::kAnd, {sel_n, state[rot(i, k)]}, name + ".m2");
+            next[i] = g().add_gate(GateKind::kOr, {t1, t2}, name + ".m");
+          }
+          break;
+        }
+        default:  // NAND/NOR alternating blend (1 gate/bit)
+          for (std::size_t i = 0; i < w; ++i) {
+            next[i] = g().add_gate(
+                (i & 1) ? GateKind::kNand : GateKind::kNor,
+                {state[i], state[rot(i, k)]}, name + ".b");
+          }
+          break;
+      }
+      state = std::move(next);
+      const std::size_t used = g().gate_count() - before;
+      budget = budget > used ? budget - used : 0;
+    }
+
+    // Outputs: fold the wire vector down (or fan it out) to `width` bits.
+    std::vector<GateId> out(fu.width);
+    for (unsigned b = 0; b < fu.width; ++b) out[b] = state[b % w];
+    for (std::size_t i = fu.width; i < w; ++i) {
+      const std::size_t sink = i % fu.width;
+      out[sink] =
+          g().add_gate(GateKind::kXor, {out[sink], state[i]}, name + ".f");
+    }
+    return out;
+  }
+
+  /// Scan plumbing: per register bit, the gate that feeds it in scan mode.
+  void prepare_scan() {
+    scan_enable_ = g().add_input("ScanEnable");
+    scan_enable_n_ = g().add_gate(GateKind::kNot, {scan_enable_}, "sen");
+    scan_source_.resize(rtl_.registers().size());
+    for (const ScanOptions::Chain& chain : scan_->chains) {
+      // Scan-in bits for the first register on the chain.
+      std::vector<GateId> feed;
+      if (chain.scan_in) {
+        const unsigned width = rtl_.pin_width(*chain.scan_in);
+        for (unsigned b = 0; b < width; ++b) {
+          feed.push_back(bit_of(*chain.scan_in, b));
+        }
+      } else {
+        feed.push_back(const0());
+      }
+      for (rtl::RegisterId reg : chain.registers) {
+        const unsigned width = rtl_.reg(reg).width;
+        auto& sources = scan_source_[reg.index()];
+        sources.resize(width);
+        for (unsigned b = 0; b < width; ++b) {
+          sources[b] = feed[b % feed.size()];
+        }
+        feed = result_.register_bits[reg.index()];  // next hop shifts from Q
+      }
+    }
+  }
+
+  void wire_registers() {
+    for (std::size_t i = 0; i < rtl_.registers().size(); ++i) {
+      const auto& reg = rtl_.registers()[i];
+      const rtl::RegisterId rid(static_cast<std::uint32_t>(i));
+      const PinRef d_pin = rtl_.reg_d(rid);
+
+      // Load-enable recirculation: D = load ? data : Q.
+      std::optional<GateId> load;
+      if (reg.has_load_enable) {
+        load = sink_bit(rtl_.reg_load(rid), 0);
+      }
+      std::optional<GateId> load_n;
+      if (load) {
+        load_n = g().add_gate(GateKind::kNot, {*load}, reg.name + ".ldn");
+      }
+
+      for (unsigned b = 0; b < reg.width; ++b) {
+        const GateId q = result_.register_bits[i][b];
+        auto data = sink_bit(d_pin, b);
+        GateId next;
+        if (!data) {
+          next = q;  // bit never written: hold
+        } else if (load) {
+          const GateId t1 =
+              g().add_gate(GateKind::kAnd, {*load, *data}, reg.name + ".w");
+          const GateId t2 =
+              g().add_gate(GateKind::kAnd, {*load_n, q}, reg.name + ".h");
+          next = g().add_gate(GateKind::kOr, {t1, t2}, reg.name + ".d");
+        } else {
+          next = *data;  // loads every cycle
+        }
+        if (scan_ != nullptr && b < scan_source_[i].size()) {
+          // Scan mux: SE ? predecessor bit : functional next-state.
+          const GateId t1 = g().add_gate(
+              GateKind::kAnd, {scan_enable_, scan_source_[i][b]},
+              reg.name + ".si");
+          const GateId t2 = g().add_gate(GateKind::kAnd, {scan_enable_n_, next},
+                                         reg.name + ".sd");
+          next = g().add_gate(GateKind::kOr, {t1, t2}, reg.name + ".sm");
+        }
+        g().set_dff_input(q, next);
+      }
+    }
+  }
+
+  void wire_outputs() {
+    for (std::size_t i = 0; i < rtl_.ports().size(); ++i) {
+      const auto& port = rtl_.ports()[i];
+      if (port.dir != rtl::PortDir::kOutput) continue;
+      const PinRef pin = rtl_.pin(rtl::PortId(static_cast<std::uint32_t>(i)));
+      auto& bits = result_.output_bits[port.name];
+      for (unsigned b = 0; b < port.width; ++b) {
+        const GateId driver = sink_bit_or_const0(pin, b);
+        bits.push_back(driver);
+        g().mark_output(driver);
+      }
+    }
+  }
+
+  const Netlist& rtl_;
+  const ScanOptions* scan_ = nullptr;
+  Elaboration result_;
+
+  GateId scan_enable_;
+  GateId scan_enable_n_;
+  std::vector<std::vector<GateId>> scan_source_;
+
+  std::map<PinRef, std::vector<const Connection*>> sinks_;
+  std::map<std::pair<PinRef, unsigned>, GateId> memo_;
+  std::map<MuxId, std::vector<GateId>> mux_decode_;
+  std::map<FuId, std::vector<GateId>> fu_out_;
+  GateId const0_;
+  GateId const1_;
+};
+
+}  // namespace
+
+Elaboration elaborate(const rtl::Netlist& netlist) {
+  return Elaborator(netlist).run();
+}
+
+Elaboration elaborate_with_scan(const rtl::Netlist& netlist,
+                                const ScanOptions& scan) {
+  return Elaborator(netlist, &scan).run();
+}
+
+}  // namespace socet::synth

@@ -1,0 +1,63 @@
+// RTL -> gate-level elaboration (our stand-in for the paper's "in-house
+// synthesis tool" plus 0.8um technology mapping).
+//
+// Every RTL component is decomposed into the primitive cells of
+// gate::GateNetlist: registers become DFFs with load-enable recirculation
+// logic, multiplexers become AND-OR trees with full select decoding,
+// functional units become ripple/comparator/ALU gate networks, and
+// kRandomLogic clouds become deterministic random gate DAGs (standing in
+// for the controller logic the original cores contained).
+//
+// The resulting netlist provides the paper's two measurements:
+//   * area in cells (Table 2's "Orig. Area" column), and
+//   * the stuck-at fault universe for fault coverage (Table 3).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "socet/gate/netlist.hpp"
+#include "socet/rtl/netlist.hpp"
+
+namespace socet::synth {
+
+struct Elaboration {
+  gate::GateNetlist gates;
+
+  /// Input port name -> kInput gates, bit 0 first.
+  std::map<std::string, std::vector<gate::GateId>> input_bits;
+  /// Output port name -> driver gates (marked as primary outputs).
+  std::map<std::string, std::vector<gate::GateId>> output_bits;
+  /// Register index (into rtl::Netlist::registers()) -> DFF gates.
+  std::vector<std::vector<gate::GateId>> register_bits;
+
+  Elaboration() : gates("") {}
+};
+
+/// Gate-level scan-chain description for elaborate_with_scan.
+struct ScanOptions {
+  struct Chain {
+    /// Chain order, scan-in first.
+    std::vector<rtl::RegisterId> registers;
+    /// Driver pin (in the same netlist) feeding the chain's scan-in; when
+    /// absent the scan-in is tied to 0.  At chip level this is typically a
+    /// core-input port proxy — which is exactly why embedded cores' chains
+    /// are useless without chip-level DFT (Table 3's HSCAN row).
+    std::optional<rtl::PinRef> scan_in;
+  };
+  std::vector<Chain> chains;
+};
+
+/// Elaborate `netlist` into gates.  Undriven sinks are tied to constant 0;
+/// undriven register data bits hold their value.
+Elaboration elaborate(const rtl::Netlist& netlist);
+
+/// Elaborate with physical scan multiplexers: a global "ScanEnable" input
+/// is added, and in scan mode every chained register bit captures its
+/// predecessor's corresponding bit (bit-parallel HSCAN shifting) instead
+/// of its functional data.
+Elaboration elaborate_with_scan(const rtl::Netlist& netlist,
+                                const ScanOptions& scan);
+
+}  // namespace socet::synth

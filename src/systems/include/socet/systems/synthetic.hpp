@@ -1,0 +1,50 @@
+// Synthetic core and SOC generation for property tests and scaling
+// studies.
+//
+// Cores are random but well-formed RTL: a register set connected by mux
+// paths (with bit-slicing to exercise the split-node machinery),
+// functional units, and optional control clouds.  SOCs wire generated
+// cores into random DAG topologies with a controllable fraction of
+// pin-adjacent ports.  Everything is seeded and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "socet/soc/soc.hpp"
+#include "socet/systems/systems.hpp"
+
+namespace socet::systems {
+
+struct SyntheticCoreOptions {
+  unsigned registers = 6;
+  unsigned width = 8;
+  /// Probability (in percent) that a register pair gets a mux path.
+  unsigned connectivity_pct = 40;
+  /// Create bit-sliced (split-node) connections.
+  bool with_splits = true;
+  /// Attach a control cloud (makes the core unusable by rtl::Interpreter
+  /// but realistic for ATPG studies).
+  bool with_cloud = false;
+  unsigned inputs = 2;
+  unsigned outputs = 2;
+};
+
+rtl::Netlist make_synthetic_core(const std::string& name, std::uint64_t seed,
+                                 const SyntheticCoreOptions& options = {});
+
+struct SyntheticSocOptions {
+  unsigned cores = 4;
+  SyntheticCoreOptions core;
+  /// Percent of core inputs wired to chip PIs (the rest chain to upstream
+  /// cores when possible, or stay dangling to exercise system muxes).
+  unsigned pin_adjacency_pct = 40;
+  unsigned scan_vectors = 40;
+};
+
+/// A fully prepared synthetic system (cores + wired SOC), deterministic
+/// per seed.
+System make_synthetic_system(std::uint64_t seed,
+                             const SyntheticSocOptions& options = {});
+
+}  // namespace socet::systems

@@ -1,0 +1,53 @@
+// Transparency path search over the RCG — paper Section 4.
+//
+// Propagation: find a route carrying an input port's value to output
+// ports.  At an O-split node the value fans out in slices, so every slice
+// group must reach an output (the search branches, like the paper's BFS
+// from IR's two fanout edges) and shorter branches get freeze logic to
+// balance latencies.
+//
+// Justification: find a route delivering an arbitrary value onto an
+// output port from input ports, on the reversed graph.  At a C-split node
+// every slice group must be justified; branches may reconverge at an
+// O-split node (the ACCUMULATOR -> IR example), which the shared
+// reconstruction pass models naturally.
+//
+// Both searches solve an AND-OR shortest-path problem by monotone value
+// relaxation (cycles in the RCG make plain BFS awkward; relaxation
+// converges because latencies only ever decrease).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "socet/transparency/rcg.hpp"
+
+namespace socet::transparency {
+
+enum class EdgeClass : std::uint8_t {
+  kHscanOnly,    ///< darkened (HSCAN) edges only
+  kAllExisting,  ///< any existing RCG edge
+};
+
+struct SearchResult {
+  bool found = false;
+  unsigned latency = 0;
+  /// RCG edge indices used (deduplicated across reconverging branches).
+  std::vector<std::uint32_t> edges;
+  /// Registers that must hold data to balance unequal parallel branches
+  /// (each costs freeze logic).
+  unsigned freeze_points = 0;
+};
+
+/// Route `input_node`'s value to output ports.
+SearchResult find_propagation(const Rcg& rcg, std::uint32_t input_node,
+                              EdgeClass allowed,
+                              const std::set<std::uint32_t>& excluded_edges);
+
+/// Justify `output_node` from input ports.
+SearchResult find_justification(const Rcg& rcg, std::uint32_t output_node,
+                                EdgeClass allowed,
+                                const std::set<std::uint32_t>& excluded_edges);
+
+}  // namespace socet::transparency

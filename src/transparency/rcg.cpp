@@ -1,0 +1,166 @@
+#include "socet/transparency/rcg.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace socet::transparency {
+
+namespace {
+
+/// Two half-open bit ranges.
+bool ranges_disjoint(unsigned lo_a, unsigned w_a, unsigned lo_b, unsigned w_b) {
+  return lo_a + w_a <= lo_b || lo_b + w_b <= lo_a;
+}
+
+}  // namespace
+
+Rcg::Rcg(const rtl::Netlist& netlist, const hscan::HscanConfig* hscan)
+    : netlist_(&netlist) {
+  // Nodes: input ports, output ports, registers — in a stable order.
+  std::map<rtl::NodeRef, std::uint32_t> index;
+  auto add_node = [&](const rtl::NodeRef& ref) {
+    index[ref] = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(RcgNode{ref, false, false, {}, {}});
+  };
+  for (rtl::PortId id : netlist.input_ports()) {
+    add_node(rtl::port_node(netlist, id));
+  }
+  for (rtl::PortId id : netlist.output_ports()) {
+    add_node(rtl::port_node(netlist, id));
+  }
+  for (std::size_t i = 0; i < netlist.registers().size(); ++i) {
+    add_node(rtl::register_node(rtl::RegisterId(static_cast<std::uint32_t>(i))));
+  }
+
+  // Edges from the transfer-path enumeration.  Multiple enumerated paths
+  // between the same node pair with the same slices (e.g. through
+  // different mux data pins) merge into one edge, keeping the cheapest
+  // annotation (direct beats mux path; HSCAN flag accumulates).
+  std::map<std::tuple<std::uint32_t, std::uint32_t, unsigned, unsigned, unsigned>,
+           std::uint32_t>
+      dedup;
+  for (const rtl::TransferPath& path : rtl::enumerate_transfer_paths(netlist)) {
+    const std::uint32_t src = index.at(path.src);
+    const std::uint32_t dst = index.at(path.dst);
+    const auto key =
+        std::make_tuple(src, dst, path.src_lo, path.dst_lo, path.width);
+    auto it = dedup.find(key);
+    if (it != dedup.end()) {
+      RcgEdge& edge = edges_[it->second];
+      edge.direct = edge.direct || path.direct();
+      edge.mux_hops =
+          std::min(edge.mux_hops, static_cast<unsigned>(path.hops.size()));
+      continue;
+    }
+    RcgEdge edge;
+    edge.src = src;
+    edge.dst = dst;
+    edge.src_lo = path.src_lo;
+    edge.dst_lo = path.dst_lo;
+    edge.width = path.width;
+    edge.direct = path.direct();
+    edge.mux_hops = static_cast<unsigned>(path.hops.size());
+    dedup[key] = static_cast<std::uint32_t>(edges_.size());
+    edges_.push_back(edge);
+  }
+
+  // HSCAN flags: an edge is an HSCAN edge when the chain construction
+  // reused the same (src, dst) node pair.
+  if (hscan != nullptr) {
+    for (const auto& [from, to] : hscan->reused_edges) {
+      auto from_it = index.find(from);
+      auto to_it = index.find(to);
+      if (from_it == index.end() || to_it == index.end()) continue;
+      for (RcgEdge& edge : edges_) {
+        if (edge.src == from_it->second && edge.dst == to_it->second) {
+          edge.hscan = true;
+        }
+      }
+    }
+    // Inserted scan test muxes create brand-new paths: add them as HSCAN
+    // edges so the transparency search can ride the chains end to end.
+    for (const auto& [from, to] : hscan->added_links) {
+      auto from_it = index.find(from);
+      auto to_it = index.find(to);
+      if (from_it == index.end() || to_it == index.end()) continue;
+      const unsigned width =
+          std::min(rtl::node_width(netlist, from), rtl::node_width(netlist, to));
+      RcgEdge edge;
+      edge.src = from_it->second;
+      edge.dst = to_it->second;
+      edge.src_lo = 0;
+      edge.dst_lo = 0;
+      edge.width = width;
+      edge.hscan = true;
+      edge.direct = false;
+      edge.mux_hops = 1;
+      edges_.push_back(edge);
+    }
+  }
+
+  // A register's Q wired straight onto an output port is free observation
+  // hardware (no mux, no gating), so it is usable even by the HSCAN-only
+  // search regardless of which chain the register landed on.
+  for (RcgEdge& edge : edges_) {
+    if (edge.direct && nodes_[edge.dst].ref.kind == rtl::NodeKind::kOutputPort) {
+      edge.hscan = true;
+    }
+  }
+
+  // Adjacency and split-node classification.
+  for (std::uint32_t e = 0; e < edges_.size(); ++e) {
+    nodes_[edges_[e].src].out_edges.push_back(e);
+    nodes_[edges_[e].dst].in_edges.push_back(e);
+  }
+  for (RcgNode& node : nodes_) {
+    for (std::size_t a = 0; a < node.in_edges.size() && !node.c_split; ++a) {
+      for (std::size_t b = a + 1; b < node.in_edges.size(); ++b) {
+        const RcgEdge& ea = edges_[node.in_edges[a]];
+        const RcgEdge& eb = edges_[node.in_edges[b]];
+        if (ranges_disjoint(ea.dst_lo, ea.width, eb.dst_lo, eb.width)) {
+          node.c_split = true;
+          break;
+        }
+      }
+    }
+    for (std::size_t a = 0; a < node.out_edges.size() && !node.o_split; ++a) {
+      for (std::size_t b = a + 1; b < node.out_edges.size(); ++b) {
+        const RcgEdge& ea = edges_[node.out_edges[a]];
+        const RcgEdge& eb = edges_[node.out_edges[b]];
+        if (ranges_disjoint(ea.src_lo, ea.width, eb.src_lo, eb.width)) {
+          node.o_split = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+std::uint32_t Rcg::index_of(const rtl::NodeRef& ref) const {
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].ref == ref) return i;
+  }
+  util::raise("Rcg::index_of: node not in graph");
+}
+
+std::vector<std::uint32_t> Rcg::input_nodes() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].ref.kind == rtl::NodeKind::kInputPort) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> Rcg::output_nodes() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].ref.kind == rtl::NodeKind::kOutputPort) out.push_back(i);
+  }
+  return out;
+}
+
+std::string Rcg::node_name(std::uint32_t index) const {
+  return rtl::node_name(*netlist_, nodes_.at(index).ref);
+}
+
+}  // namespace socet::transparency

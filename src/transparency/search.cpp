@@ -1,0 +1,222 @@
+#include "socet/transparency/search.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace socet::transparency {
+
+namespace {
+
+constexpr unsigned kInf = std::numeric_limits<unsigned>::max() / 4;
+
+bool edge_allowed(const RcgEdge& edge, EdgeClass allowed,
+                  const std::set<std::uint32_t>& excluded,
+                  std::uint32_t index) {
+  if (excluded.count(index)) return false;
+  if (allowed == EdgeClass::kHscanOnly && !edge.hscan) return false;
+  return true;
+}
+
+/// Edge indices partitioned into mandatory slice groups.  For a non-split
+/// node all edges form a single group (alternatives); for a split node,
+/// edges with distinct slice ranges are separate groups that must all be
+/// satisfied.
+std::vector<std::vector<std::uint32_t>> slice_groups(
+    const Rcg& rcg, const std::vector<std::uint32_t>& edge_indices, bool split,
+    bool by_src_range) {
+  std::vector<std::vector<std::uint32_t>> groups;
+  if (!split) {
+    if (!edge_indices.empty()) groups.push_back(edge_indices);
+    return groups;
+  }
+  std::map<std::pair<unsigned, unsigned>, std::size_t> range_to_group;
+  for (std::uint32_t e : edge_indices) {
+    const RcgEdge& edge = rcg.edge(e);
+    const auto range = by_src_range ? std::make_pair(edge.src_lo, edge.width)
+                                    : std::make_pair(edge.dst_lo, edge.width);
+    auto it = range_to_group.find(range);
+    if (it == range_to_group.end()) {
+      range_to_group.emplace(range, groups.size());
+      groups.push_back({e});
+    } else {
+      groups[it->second].push_back(e);
+    }
+  }
+  return groups;
+}
+
+/// Shared machinery for the two search directions.  `Adapter` supplies:
+///   terminal(node)   — latency-0 endpoints (outputs for propagation,
+///                      inputs for justification)
+///   groups(node)     — mandatory edge groups leaving the node (in search
+///                      direction)
+///   next(edge)       — the node an edge leads to (in search direction)
+///   step_cost(node, edge) — cycles added when traversing the edge
+template <typename Adapter>
+class AndOrSearch {
+ public:
+  AndOrSearch(const Rcg& rcg, EdgeClass allowed,
+              const std::set<std::uint32_t>& excluded, Adapter adapter)
+      : rcg_(rcg), allowed_(allowed), excluded_(excluded), adapter_(adapter) {}
+
+  SearchResult run(std::uint32_t start) {
+    relax();
+    SearchResult result;
+    if (value_[start] >= kInf) return result;
+    result.found = true;
+    result.latency = value_[start];
+    std::vector<char> visited(rcg_.nodes().size(), 0);
+    std::set<std::uint32_t> edges;
+    reconstruct(start, visited, edges, result.freeze_points);
+    result.edges.assign(edges.begin(), edges.end());
+    return result;
+  }
+
+ private:
+  void relax() {
+    const std::size_t n = rcg_.nodes().size();
+    value_.assign(n, kInf);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (adapter_.terminal(rcg_, i)) value_[i] = 0;
+    }
+    // Values only decrease; at most n rounds to convergence.
+    for (std::size_t round = 0; round < n + 1; ++round) {
+      bool changed = false;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (adapter_.terminal(rcg_, i)) continue;
+        const unsigned v = evaluate(i);
+        if (v < value_[i]) {
+          value_[i] = v;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+  }
+
+  unsigned evaluate(std::uint32_t node) const {
+    const auto groups = adapter_.groups(rcg_, node);
+    if (groups.empty()) return kInf;
+    unsigned worst = 0;
+    for (const auto& group : groups) {
+      unsigned best = kInf;
+      for (std::uint32_t e : group) {
+        if (!edge_allowed(rcg_.edge(e), allowed_, excluded_, e)) continue;
+        const std::uint32_t next = adapter_.next(rcg_.edge(e));
+        if (value_[next] >= kInf) continue;
+        best = std::min(best,
+                        adapter_.step_cost(rcg_, node, rcg_.edge(e)) +
+                            value_[next]);
+      }
+      if (best >= kInf) return kInf;
+      worst = std::max(worst, best);
+    }
+    return worst;
+  }
+
+  void reconstruct(std::uint32_t node, std::vector<char>& visited,
+                   std::set<std::uint32_t>& edges, unsigned& freezes) const {
+    if (visited[node]) return;
+    visited[node] = 1;
+    if (adapter_.terminal(rcg_, node)) return;
+    const auto groups = adapter_.groups(rcg_, node);
+    // Chosen branch latency per group, to count balancing freezes.
+    std::vector<unsigned> branch_latency;
+    std::vector<std::uint32_t> branch_edge;
+    for (const auto& group : groups) {
+      unsigned best = kInf;
+      std::uint32_t best_edge = 0;
+      for (std::uint32_t e : group) {
+        if (!edge_allowed(rcg_.edge(e), allowed_, excluded_, e)) continue;
+        const std::uint32_t next = adapter_.next(rcg_.edge(e));
+        if (value_[next] >= kInf) continue;
+        const unsigned cand =
+            adapter_.step_cost(rcg_, node, rcg_.edge(e)) + value_[next];
+        if (cand < best) {
+          best = cand;
+          best_edge = e;
+        }
+      }
+      if (best >= kInf) continue;  // cannot happen when value_ is finite
+      branch_latency.push_back(best);
+      branch_edge.push_back(best_edge);
+    }
+    const unsigned worst = branch_latency.empty()
+                               ? 0
+                               : *std::max_element(branch_latency.begin(),
+                                                   branch_latency.end());
+    for (std::size_t g = 0; g < branch_edge.size(); ++g) {
+      if (branch_latency[g] < worst) ++freezes;  // hold data on this branch
+      edges.insert(branch_edge[g]);
+      reconstruct(adapter_.next(rcg_.edge(branch_edge[g])), visited, edges,
+                  freezes);
+    }
+  }
+
+  const Rcg& rcg_;
+  EdgeClass allowed_;
+  const std::set<std::uint32_t>& excluded_;
+  Adapter adapter_;
+  std::vector<unsigned> value_;
+};
+
+struct PropagationAdapter {
+  bool terminal(const Rcg& rcg, std::uint32_t node) const {
+    return rcg.node(node).ref.kind == rtl::NodeKind::kOutputPort;
+  }
+  std::vector<std::vector<std::uint32_t>> groups(const Rcg& rcg,
+                                                 std::uint32_t node) const {
+    return slice_groups(rcg, rcg.node(node).out_edges, rcg.node(node).o_split,
+                        /*by_src_range=*/true);
+  }
+  std::uint32_t next(const RcgEdge& edge) const { return edge.dst; }
+  unsigned step_cost(const Rcg& rcg, std::uint32_t /*node*/,
+                     const RcgEdge& edge) const {
+    // Entering a register costs one clock; reaching an output port is
+    // combinational.
+    return rcg.node(edge.dst).ref.kind == rtl::NodeKind::kRegister ? 1 : 0;
+  }
+};
+
+struct JustificationAdapter {
+  bool terminal(const Rcg& rcg, std::uint32_t node) const {
+    return rcg.node(node).ref.kind == rtl::NodeKind::kInputPort;
+  }
+  std::vector<std::vector<std::uint32_t>> groups(const Rcg& rcg,
+                                                 std::uint32_t node) const {
+    return slice_groups(rcg, rcg.node(node).in_edges, rcg.node(node).c_split,
+                        /*by_src_range=*/false);
+  }
+  std::uint32_t next(const RcgEdge& edge) const { return edge.src; }
+  unsigned step_cost(const Rcg& rcg, std::uint32_t node,
+                     const RcgEdge& /*edge*/) const {
+    // Loading this node (if it is a register) costs one clock; an output
+    // port reads its driver combinationally.
+    return rcg.node(node).ref.kind == rtl::NodeKind::kRegister ? 1 : 0;
+  }
+};
+
+}  // namespace
+
+SearchResult find_propagation(const Rcg& rcg, std::uint32_t input_node,
+                              EdgeClass allowed,
+                              const std::set<std::uint32_t>& excluded_edges) {
+  util::require(
+      rcg.node(input_node).ref.kind == rtl::NodeKind::kInputPort,
+      "find_propagation: start node is not an input port");
+  AndOrSearch search(rcg, allowed, excluded_edges, PropagationAdapter{});
+  return search.run(input_node);
+}
+
+SearchResult find_justification(const Rcg& rcg, std::uint32_t output_node,
+                                EdgeClass allowed,
+                                const std::set<std::uint32_t>& excluded_edges) {
+  util::require(
+      rcg.node(output_node).ref.kind == rtl::NodeKind::kOutputPort,
+      "find_justification: start node is not an output port");
+  AndOrSearch search(rcg, allowed, excluded_edges, JustificationAdapter{});
+  return search.run(output_node);
+}
+
+}  // namespace socet::transparency

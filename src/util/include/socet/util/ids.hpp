@@ -1,0 +1,55 @@
+// Strong integer ID types.
+//
+// Every graph-like structure in the library (RTL netlists, gate netlists,
+// RCGs, CCGs) indexes its elements with dense integer handles.  Using a
+// distinct C++ type per handle kind turns "passed a register id where a
+// port id was expected" into a compile error instead of a silent
+// out-of-bounds lookup.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace socet::util {
+
+/// A strongly typed, dense integer handle.  `Tag` is an empty struct that
+/// distinguishes otherwise-identical ID types.
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(value_type v) : value_(v) {}
+
+  /// The reserved "no object" value.
+  static constexpr Id invalid() { return Id(); }
+
+  [[nodiscard]] constexpr bool valid() const {
+    return value_ != std::numeric_limits<value_type>::max();
+  }
+  [[nodiscard]] constexpr value_type value() const { return value_; }
+  /// Convenience for indexing into std::vector.
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+
+  constexpr friend bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  constexpr friend auto operator<=>(Id a, Id b) {
+    return a.value_ <=> b.value_;
+  }
+
+ private:
+  value_type value_ = std::numeric_limits<value_type>::max();
+};
+
+}  // namespace socet::util
+
+namespace std {
+template <typename Tag>
+struct hash<socet::util::Id<Tag>> {
+  size_t operator()(const socet::util::Id<Tag>& id) const noexcept {
+    return std::hash<typename socet::util::Id<Tag>::value_type>{}(id.value());
+  }
+};
+}  // namespace std

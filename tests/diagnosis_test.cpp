@@ -1,0 +1,177 @@
+// Tests for response compaction (MISR) and fault diagnosis.
+#include <gtest/gtest.h>
+
+#include "socet/atpg/atpg.hpp"
+#include "socet/bist/signature.hpp"
+#include "socet/faultsim/diagnosis.hpp"
+#include "socet/synth/elaborate.hpp"
+#include "socet/systems/systems.hpp"
+#include "socet/util/rng.hpp"
+
+namespace socet {
+namespace {
+
+// -------------------------------------------------------------------- MISR
+
+TEST(Misr, DeterministicAndResettable) {
+  bist::Misr a(16);
+  bist::Misr b(16);
+  for (std::uint64_t v : {1u, 2u, 3u, 0xFFFFu}) {
+    a.shift(v);
+    b.shift(v);
+  }
+  EXPECT_EQ(a.signature(), b.signature());
+  a.reset();
+  EXPECT_EQ(a.signature(), 0u);
+}
+
+TEST(Misr, OrderSensitivity) {
+  bist::Misr a(16);
+  bist::Misr b(16);
+  a.shift(1);
+  a.shift(2);
+  b.shift(2);
+  b.shift(1);
+  EXPECT_NE(a.signature(), b.signature())
+      << "a signature register must be order-sensitive";
+}
+
+TEST(Misr, SingleBitErrorsNeverAlias) {
+  // Flipping exactly one input bit always changes the signature (the
+  // error polynomial is a monomial, never divisible by the feedback).
+  util::Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint64_t> stream(20);
+    for (auto& word : stream) word = rng.next_u64() & 0xFF;
+    bist::Misr clean(8);
+    for (auto word : stream) clean.shift(word);
+    auto corrupted = stream;
+    corrupted[rng.next_below(20)] ^= 1ULL << rng.next_below(8);
+    bist::Misr dirty(8);
+    for (auto word : corrupted) dirty.shift(word);
+    EXPECT_NE(clean.signature(), dirty.signature()) << "trial " << trial;
+  }
+}
+
+TEST(Misr, EmpiricalAliasingNearTheoretical) {
+  // Random error streams alias with probability ~2^-8; measure it.
+  util::Rng rng(9);
+  int aliased = 0;
+  constexpr int kTrials = 3000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    bist::Misr clean(8);
+    bist::Misr dirty(8);
+    for (int c = 0; c < 16; ++c) {
+      const std::uint64_t good = rng.next_u64() & 0xFF;
+      const std::uint64_t error = rng.next_u64() & 0xFF;
+      clean.shift(good);
+      dirty.shift(good ^ error);
+    }
+    aliased += clean.signature() == dirty.signature();
+  }
+  const double empirical = static_cast<double>(aliased) / kTrials;
+  EXPECT_NEAR(empirical, bist::Misr(8).aliasing_probability(), 0.01);
+}
+
+TEST(Misr, AbsorbsBitVectors) {
+  bist::Misr m(8);
+  m.absorb(util::BitVector::from_string("1010101000001111"));
+  EXPECT_NE(m.signature(), 0u);
+  EXPECT_THROW(bist::Misr(1), util::Error);
+  EXPECT_THROW(bist::Misr(8, 0), util::Error);
+}
+
+TEST(Misr, CompactsScanResponsesAndCatchesAFault) {
+  // Compact the GCD core's whole test response stream; a faulty chip's
+  // signature must differ.
+  auto elab = synth::elaborate(systems::make_gcd_rtl());
+  auto result = atpg::generate_tests(elab.gates, {.random_patterns = 16});
+  faultsim::ScanFaultSim sim(elab.gates);
+
+  // Pick a fault that the test set detects.
+  std::size_t detected_index = result.faults.size();
+  for (std::size_t i = 0; i < result.faults.size(); ++i) {
+    if (result.statuses[i] == faultsim::FaultStatus::kDetected) {
+      detected_index = i;
+      break;
+    }
+  }
+  ASSERT_LT(detected_index, result.faults.size());
+
+  bist::Misr clean(16);
+  bist::Misr dirty(16);
+  for (const auto& pattern : result.patterns) {
+    clean.absorb(sim.good_response(pattern));
+    dirty.absorb(
+        sim.faulty_response(result.faults[detected_index], pattern));
+  }
+  EXPECT_NE(clean.signature(), dirty.signature());
+}
+
+// --------------------------------------------------------------- diagnosis
+
+struct Workbench {
+  synth::Elaboration elab = synth::elaborate(systems::make_gcd_rtl());
+  atpg::AtpgResult atpg =
+      atpg::generate_tests(elab.gates, {.random_patterns = 32});
+  faultsim::ScanFaultSim sim{elab.gates};
+
+  std::vector<util::BitVector> responses_with(const faultsim::Fault& fault) {
+    std::vector<util::BitVector> observed;
+    for (const auto& pattern : atpg.patterns) {
+      observed.push_back(sim.faulty_response(fault, pattern));
+    }
+    return observed;
+  }
+};
+
+TEST(Diagnosis, PassingChipYieldsNoCandidates) {
+  Workbench wb;
+  std::vector<util::BitVector> observed;
+  for (const auto& pattern : wb.atpg.patterns) {
+    observed.push_back(wb.sim.good_response(pattern));
+  }
+  auto result = faultsim::diagnose(wb.elab.gates, wb.atpg.patterns, observed);
+  EXPECT_TRUE(result.ranked.empty());
+}
+
+TEST(Diagnosis, InjectedFaultRankedFirstAndExact) {
+  Workbench wb;
+  util::Rng rng(21);
+  int checked = 0;
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto index = rng.next_below(wb.atpg.faults.size());
+    if (wb.atpg.statuses[index] != faultsim::FaultStatus::kDetected) {
+      continue;
+    }
+    const auto& culprit = wb.atpg.faults[index];
+    auto result = faultsim::diagnose(wb.elab.gates, wb.atpg.patterns,
+                                     wb.responses_with(culprit));
+    ASSERT_FALSE(result.ranked.empty());
+    // The top candidate must be an exact explanation; the culprit itself
+    // (or an equivalent fault — same dictionary row) must share the top
+    // score.
+    EXPECT_TRUE(result.ranked.front().exact())
+        << describe_fault(wb.elab.gates, culprit);
+    bool culprit_at_top = false;
+    for (const auto& candidate : result.ranked) {
+      if (candidate.score < result.ranked.front().score) break;
+      culprit_at_top |= candidate.fault == culprit;
+    }
+    EXPECT_TRUE(culprit_at_top)
+        << describe_fault(wb.elab.gates, culprit);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(Diagnosis, RejectsMismatchedInputs) {
+  Workbench wb;
+  std::vector<util::BitVector> too_few;
+  EXPECT_THROW(
+      faultsim::diagnose(wb.elab.gates, wb.atpg.patterns, too_few),
+      util::Error);
+}
+
+}  // namespace
+}  // namespace socet

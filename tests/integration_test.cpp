@@ -1,0 +1,150 @@
+// End-to-end integration: every stage of the SOCET flow composed on a
+// fresh two-core SOC that enters the library as *text* (the way a user's
+// design data would), plus whole-flow determinism checks on the paper
+// systems.
+#include <gtest/gtest.h>
+
+#include "socet/atpg/atpg.hpp"
+#include "socet/core/serialize.hpp"
+#include "socet/emit/verilog.hpp"
+#include "socet/opt/optimize.hpp"
+#include "socet/rtl/text.hpp"
+#include "socet/soc/controller.hpp"
+#include "socet/soc/parallel.hpp"
+#include "socet/soc/testprogram.hpp"
+#include "socet/soc/validate.hpp"
+#include "socet/synth/elaborate.hpp"
+#include "socet/systems/systems.hpp"
+
+namespace socet {
+namespace {
+
+// Two small cores, written as the text format a user repository would
+// hold.
+constexpr const char* kProducerRtl = R"(socet-rtl v1
+netlist PRODUCER
+input SAMPLE data 8
+input Gate control 1
+input Mode control 1
+output FILTERED data 8
+register S1 8 load
+register S2 8 noload
+mux m_s1 8 2
+fu AVG add 8 2
+connect port:SAMPLE 0 -> mux:m_s1.in0 0 8
+connect fu:AVG.out 0 -> mux:m_s1.in1 0 8
+connect mux:m_s1.out 0 -> reg:S1.d 0 8
+connect port:Gate 0 -> reg:S1.load 0 1
+connect port:Mode 0 -> mux:m_s1.sel 0 1
+connect reg:S1.q 0 -> reg:S2.d 0 8
+connect reg:S1.q 0 -> fu:AVG.in0 0 8
+connect reg:S2.q 0 -> fu:AVG.in1 0 8
+connect reg:S2.q 0 -> port:FILTERED 0 8
+end
+)";
+
+constexpr const char* kConsumerRtl = R"(socet-rtl v1
+netlist CONSUMER
+input DIN data 8
+output PEAK data 8
+register HOLD 8 load
+fu BIGGER less 8 2
+mux m_hold 8 2
+connect port:DIN 0 -> mux:m_hold.in0 0 8
+connect reg:HOLD.q 0 -> mux:m_hold.in1 0 8
+connect fu:BIGGER.out 0 -> mux:m_hold.sel 0 1
+connect port:DIN 0 -> fu:BIGGER.in0 0 8
+connect reg:HOLD.q 0 -> fu:BIGGER.in1 0 8
+connect mux:m_hold.out 0 -> reg:HOLD.d 0 8
+connect reg:HOLD.q 0 -> port:PEAK 0 8
+end
+)";
+
+TEST(Integration, TextToTestProgramEndToEnd) {
+  // 1. Parse the user's RTL.
+  auto producer_rtl = rtl::parse_netlist(kProducerRtl);
+  auto consumer_rtl = rtl::parse_netlist(kConsumerRtl);
+
+  // 2. Provider flow: measure real test sets with ATPG.
+  core::Core producer = core::Core::prepare(std::move(producer_rtl));
+  core::Core consumer = core::Core::prepare(std::move(consumer_rtl));
+  for (core::Core* core : {&producer, &consumer}) {
+    auto elab = synth::elaborate(core->netlist());
+    auto atpg = atpg::generate_tests(elab.gates, {.random_patterns = 32});
+    EXPECT_GT(atpg.coverage().fault_coverage(), 90.0) << core->name();
+    core->set_scan_vectors(static_cast<unsigned>(atpg.vector_count()));
+  }
+
+  // 3. Integrator flow: wire the chip.
+  soc::Soc chip("STREAM");
+  auto cp = chip.add_core(&producer);
+  auto cc = chip.add_core(&consumer);
+  auto sample = chip.add_pi("SAMPLE", 8);
+  auto gate = chip.add_pi("Gate", 1);
+  auto mode = chip.add_pi("Mode", 1);
+  auto peak = chip.add_po("PEAK", 8);
+  chip.connect(sample, cp, "SAMPLE");
+  chip.connect(gate, cp, "Gate");
+  chip.connect(mode, cp, "Mode");
+  chip.connect(cp, "FILTERED", cc, "DIN");
+  chip.connect(cc, "PEAK", peak);
+  chip.validate();
+
+  // 4. Plan, validate, optimize, schedule, assemble.
+  const std::vector<unsigned> min_area(2, 0);
+  auto plan = soc::plan_chip_test(chip, min_area);
+  EXPECT_TRUE(soc::validate_plan(chip, min_area, plan).empty());
+  EXPECT_GT(plan.total_tat, 0u);
+
+  auto best = opt::minimize_tat(chip, 10'000);
+  EXPECT_LE(best.tat, plan.total_tat);
+
+  auto parallel = soc::schedule_parallel(chip, min_area, plan);
+  EXPECT_LE(parallel.total_tat, plan.total_tat);
+
+  auto program = soc::assemble_test_program(chip, min_area, plan);
+  EXPECT_EQ(program.total_cycles, plan.total_tat);
+
+  // 5. Generate the controller and check it elaborates.
+  soc::Ccg ccg(chip, min_area);
+  auto spec = soc::derive_controller_spec(chip, ccg, plan);
+  auto controller_rtl = soc::generate_controller_rtl(spec);
+  auto controller_gates = synth::elaborate(controller_rtl);
+  EXPECT_GT(controller_gates.gates.cell_count(), 0u);
+
+  // 6. Everything emits.
+  EXPECT_NO_THROW(emit::emit_verilog(producer.netlist()));
+  EXPECT_NO_THROW(emit::emit_verilog(controller_rtl));
+  EXPECT_NO_THROW(core::serialize_interface(producer));
+}
+
+TEST(Integration, WholeFlowDeterministicOnSystem1) {
+  auto run_once = []() {
+    auto system = systems::make_barcode_system();
+    const std::vector<unsigned> selection(3, 0);
+    auto plan = soc::plan_chip_test(*system.soc, selection);
+    auto best = opt::minimize_tat(*system.soc, 1'000'000);
+    auto program = soc::assemble_test_program(*system.soc, selection, plan);
+    return std::tuple{plan.total_tat, plan.total_overhead_cells(), best.tat,
+                      best.overhead_cells,
+                      soc::describe_test_program(*system.soc, program)};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Integration, SelectionSweepAllValidOnBothSystems) {
+  for (auto* make : {&systems::make_barcode_system, &systems::make_system2}) {
+    auto system = make({});
+    auto points = opt::enumerate_design_space(*system.soc);
+    for (const auto& point : points) {
+      auto violations =
+          soc::validate_plan(*system.soc, point.selection, point.plan);
+      EXPECT_TRUE(violations.empty())
+          << system.soc->name() << ": "
+          << (violations.empty() ? "" : violations.front());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace socet

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "socet/opt/optimize.hpp"
+#include "socet/soc/parallel.hpp"
+#include "socet/systems/synthetic.hpp"
+#include "socet/systems/systems.hpp"
+
+namespace socet::soc {
+namespace {
+
+using rtl::Netlist;
+
+/// Two independent pass-through cores on separate pin pairs: perfectly
+/// parallelizable.
+struct IndependentChip {
+  std::vector<std::unique_ptr<core::Core>> cores;
+  Soc soc{"indep"};
+
+  IndependentChip() {
+    for (int i = 0; i < 2; ++i) {
+      Netlist n("C" + std::to_string(i));
+      auto in = n.add_input("IN", 8);
+      auto out = n.add_output("OUT", 8);
+      auto r = n.add_register("R", 8);
+      auto m = n.add_mux("M", 8, 2);
+      auto k = n.add_constant("K", util::BitVector(8, 0));
+      n.connect(n.pin(in), n.mux_in(m, 0));
+      n.connect(n.const_out(k), n.mux_in(m, 1));
+      n.connect(n.mux_out(m), n.reg_d(r));
+      n.connect(n.reg_q(r), n.pin(out));
+      cores.push_back(std::make_unique<core::Core>(
+          core::Core::prepare(std::move(n))));
+      cores.back()->set_scan_vectors(20);
+    }
+    for (int i = 0; i < 2; ++i) {
+      auto c = soc.add_core(cores[i].get());
+      auto pi = soc.add_pi("PI" + std::to_string(i), 8);
+      auto po = soc.add_po("PO" + std::to_string(i), 8);
+      soc.connect(pi, c, "IN");
+      soc.connect(c, "OUT", po);
+    }
+    soc.validate();
+  }
+};
+
+TEST(Parallel, IndependentCoresShareOneSession) {
+  IndependentChip chip;
+  const std::vector<unsigned> selection(2, 0);
+  auto plan = plan_chip_test(chip.soc, selection);
+  auto schedule = schedule_parallel(chip.soc, selection, plan);
+  ASSERT_EQ(schedule.sessions.size(), 1u);
+  EXPECT_EQ(schedule.sessions[0].size(), 2u);
+  EXPECT_EQ(schedule.total_tat,
+            std::max(plan.cores[0].tat, plan.cores[1].tat));
+  EXPECT_GT(schedule.speedup(), 1.5);
+}
+
+TEST(Parallel, ConduitCoresCannotOverlap) {
+  // The barcode system: the DISPLAY's test drives the PREPROCESSOR and
+  // CPU as conduits, so those three can never share a session.
+  auto system = systems::make_barcode_system();
+  const std::vector<unsigned> selection(3, 0);
+  auto plan = plan_chip_test(*system.soc, selection);
+  Ccg ccg(*system.soc, selection);
+  const auto disp = system.soc->find_core("DISPLAY");
+  const auto pre = system.soc->find_core("PREPROCESSOR");
+  const auto cpu = system.soc->find_core("CPU");
+  EXPECT_FALSE(sessions_compatible(*system.soc, ccg, plan, disp, pre));
+  EXPECT_FALSE(sessions_compatible(*system.soc, ccg, plan, disp, cpu));
+  EXPECT_FALSE(sessions_compatible(*system.soc, ccg, plan, cpu, pre));
+
+  auto schedule = schedule_parallel(*system.soc, selection, plan);
+  EXPECT_EQ(schedule.sessions.size(), 3u)
+      << "the pipeline forces fully sequential testing";
+  EXPECT_EQ(schedule.total_tat, schedule.sequential_tat);
+}
+
+TEST(Parallel, NeverSlowerThanSequential) {
+  for (std::uint64_t seed : {2u, 9u, 17u, 23u}) {
+    auto system = systems::make_synthetic_system(seed);
+    const std::vector<unsigned> selection(system.soc->cores().size(), 0);
+    auto plan = plan_chip_test(*system.soc, selection);
+    auto schedule = schedule_parallel(*system.soc, selection, plan);
+    EXPECT_LE(schedule.total_tat, schedule.sequential_tat) << seed;
+    // Every core appears in exactly one session.
+    std::set<std::uint32_t> seen;
+    for (const auto& session : schedule.sessions) {
+      for (auto core : session) {
+        EXPECT_TRUE(seen.insert(core).second);
+      }
+    }
+    EXPECT_EQ(seen.size(), system.soc->cores().size());
+  }
+}
+
+TEST(Parallel, SessionsArePairwiseCompatible) {
+  for (std::uint64_t seed : {4u, 12u}) {
+    auto system = systems::make_synthetic_system(seed);
+    const std::vector<unsigned> selection(system.soc->cores().size(), 0);
+    auto plan = plan_chip_test(*system.soc, selection);
+    Ccg ccg(*system.soc, selection);
+    auto schedule = schedule_parallel(*system.soc, selection, plan);
+    for (const auto& session : schedule.sessions) {
+      for (std::size_t i = 0; i < session.size(); ++i) {
+        for (std::size_t j = i + 1; j < session.size(); ++j) {
+          EXPECT_TRUE(sessions_compatible(*system.soc, ccg, plan, session[i],
+                                          session[j]))
+              << "seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------- weighted objective
+
+TEST(WeightedObjective, ExtremesMatchDedicatedObjectives) {
+  auto system = systems::make_barcode_system();
+  // All-area weight: never upgrade.
+  auto area_heavy = opt::minimize_weighted(*system.soc, 0.0, 1.0);
+  auto min_area = soc::plan_chip_test(
+      *system.soc, std::vector<unsigned>(3, 0));
+  EXPECT_EQ(area_heavy.tat, min_area.total_tat);
+  // All-TAT weight: matches the unconstrained min-TAT walk (exact mode).
+  opt::OptimizeOptions exact;
+  exact.heuristic_ranking = false;
+  auto tat_heavy = opt::minimize_weighted(*system.soc, 1.0, 0.0, exact);
+  auto min_tat = opt::minimize_tat(*system.soc, 1'000'000, exact);
+  EXPECT_EQ(tat_heavy.tat, min_tat.tat);
+}
+
+TEST(WeightedObjective, IntermediateWeightsInterpolate) {
+  auto system = systems::make_barcode_system();
+  auto cheap = opt::minimize_weighted(*system.soc, 1.0, 1000.0);
+  auto balanced = opt::minimize_weighted(*system.soc, 1.0, 10.0);
+  auto fast = opt::minimize_weighted(*system.soc, 1.0, 0.01);
+  EXPECT_LE(cheap.overhead_cells, balanced.overhead_cells);
+  EXPECT_LE(balanced.overhead_cells, fast.overhead_cells);
+  EXPECT_GE(cheap.tat, balanced.tat);
+  EXPECT_GE(balanced.tat, fast.tat);
+}
+
+TEST(WeightedObjective, RejectsBadWeights) {
+  auto system = systems::make_barcode_system();
+  EXPECT_THROW(opt::minimize_weighted(*system.soc, 0.0, 0.0), util::Error);
+  EXPECT_THROW(opt::minimize_weighted(*system.soc, -1.0, 1.0), util::Error);
+}
+
+}  // namespace
+}  // namespace socet::soc

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "socet/rtl/interpreter.hpp"
+#include "socet/rtl/text.hpp"
+#include "socet/synth/elaborate.hpp"
+#include "socet/systems/synthetic.hpp"
+#include "socet/systems/systems.hpp"
+#include "socet/util/rng.hpp"
+
+namespace socet::rtl {
+namespace {
+
+void expect_structurally_equal(const Netlist& a, const Netlist& b) {
+  EXPECT_EQ(a.name(), b.name());
+  ASSERT_EQ(a.ports().size(), b.ports().size());
+  for (std::size_t i = 0; i < a.ports().size(); ++i) {
+    EXPECT_EQ(a.ports()[i].name, b.ports()[i].name);
+    EXPECT_EQ(a.ports()[i].dir, b.ports()[i].dir);
+    EXPECT_EQ(a.ports()[i].kind, b.ports()[i].kind);
+    EXPECT_EQ(a.ports()[i].width, b.ports()[i].width);
+  }
+  ASSERT_EQ(a.registers().size(), b.registers().size());
+  for (std::size_t i = 0; i < a.registers().size(); ++i) {
+    EXPECT_EQ(a.registers()[i].name, b.registers()[i].name);
+    EXPECT_EQ(a.registers()[i].width, b.registers()[i].width);
+    EXPECT_EQ(a.registers()[i].has_load_enable,
+              b.registers()[i].has_load_enable);
+  }
+  ASSERT_EQ(a.muxes().size(), b.muxes().size());
+  ASSERT_EQ(a.fus().size(), b.fus().size());
+  for (std::size_t i = 0; i < a.fus().size(); ++i) {
+    EXPECT_EQ(a.fus()[i].kind, b.fus()[i].kind);
+    EXPECT_EQ(a.fus()[i].seed, b.fus()[i].seed);
+    EXPECT_EQ(a.fus()[i].gate_hint, b.fus()[i].gate_hint);
+  }
+  ASSERT_EQ(a.constants().size(), b.constants().size());
+  for (std::size_t i = 0; i < a.constants().size(); ++i) {
+    EXPECT_EQ(a.constants()[i].value, b.constants()[i].value);
+  }
+  ASSERT_EQ(a.connections().size(), b.connections().size());
+  for (std::size_t i = 0; i < a.connections().size(); ++i) {
+    EXPECT_EQ(a.connections()[i].from, b.connections()[i].from);
+    EXPECT_EQ(a.connections()[i].from_lo, b.connections()[i].from_lo);
+    EXPECT_EQ(a.connections()[i].to, b.connections()[i].to);
+    EXPECT_EQ(a.connections()[i].to_lo, b.connections()[i].to_lo);
+    EXPECT_EQ(a.connections()[i].width, b.connections()[i].width);
+  }
+}
+
+TEST(RtlText, RoundTripAllNamedCores) {
+  for (auto* make :
+       {&systems::make_cpu_rtl, &systems::make_preprocessor_rtl,
+        &systems::make_display_rtl, &systems::make_graphics_rtl,
+        &systems::make_gcd_rtl, &systems::make_x25_rtl}) {
+    auto original = make();
+    auto restored = parse_netlist(serialize_netlist(original));
+    expect_structurally_equal(original, restored);
+    restored.validate();
+  }
+}
+
+TEST(RtlText, SerializationIsAFixpoint) {
+  auto cpu = systems::make_cpu_rtl();
+  const auto once = serialize_netlist(cpu);
+  EXPECT_EQ(serialize_netlist(parse_netlist(once)), once);
+}
+
+TEST(RtlText, RoundTripPreservesGateElaboration) {
+  auto original = systems::make_gcd_rtl();
+  auto restored = parse_netlist(serialize_netlist(original));
+  auto a = synth::elaborate(original);
+  auto b = synth::elaborate(restored);
+  EXPECT_EQ(a.gates.gate_count(), b.gates.gate_count());
+  EXPECT_EQ(a.gates.cell_count(), b.gates.cell_count());
+  EXPECT_DOUBLE_EQ(a.gates.area(), b.gates.area());
+}
+
+TEST(RtlText, RoundTripPreservesBehaviour) {
+  systems::SyntheticCoreOptions options;
+  options.registers = 6;
+  options.with_cloud = false;
+  auto original = systems::make_synthetic_core("rt", 9, options);
+  auto restored = parse_netlist(serialize_netlist(original));
+
+  Interpreter sim_a(original);
+  Interpreter sim_b(restored);
+  sim_a.reset();
+  sim_b.reset();
+  util::Rng rng(77);
+  for (int cycle = 0; cycle < 16; ++cycle) {
+    for (PortId port : original.input_ports()) {
+      auto value =
+          util::BitVector::random(original.port(port).width, rng);
+      sim_a.set_input(original.port(port).name, value);
+      sim_b.set_input(original.port(port).name, value);
+    }
+    sim_a.step();
+    sim_b.step();
+    for (PortId port : original.output_ports()) {
+      EXPECT_EQ(sim_a.output(original.port(port).name),
+                sim_b.output(original.port(port).name))
+          << "cycle " << cycle;
+    }
+  }
+}
+
+TEST(RtlText, ParserRejectsMalformedInput) {
+  EXPECT_THROW(parse_netlist(""), util::Error);
+  EXPECT_THROW(parse_netlist("bogus v1\nend\n"), util::Error);
+  EXPECT_THROW(parse_netlist("socet-rtl v1\nnetlist X\n"), util::Error);
+  EXPECT_THROW(parse_netlist("socet-rtl v1\nnetlist X\nwat 1\nend\n"),
+               util::Error);
+  EXPECT_THROW(
+      parse_netlist("socet-rtl v1\nnetlist X\nregister R 0 load\nend\n"),
+      util::Error);
+  EXPECT_THROW(
+      parse_netlist("socet-rtl v1\nnetlist X\nconstant K 4 111\nend\n"),
+      util::Error)
+      << "width/bits mismatch";
+  EXPECT_THROW(parse_netlist("socet-rtl v1\nnetlist X\n"
+                             "connect port:A 0 -> port:B 0 1\nend\n"),
+               util::Error)
+      << "unknown ports";
+}
+
+TEST(RtlText, CommentsIgnored) {
+  const std::string text =
+      "socet-rtl v1\n"
+      "# tiny\n"
+      "netlist T\n"
+      "input A data 4\n"
+      "output Z data 4   # result\n"
+      "register R 4 noload\n"
+      "connect port:A 0 -> reg:R.d 0 4\n"
+      "connect reg:R.q 0 -> port:Z 0 4\n"
+      "end\n";
+  auto netlist = parse_netlist(text);
+  EXPECT_EQ(netlist.name(), "T");
+  EXPECT_EQ(netlist.connections().size(), 2u);
+  netlist.validate();
+}
+
+}  // namespace
+}  // namespace socet::rtl

@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include "socet/gate/sim.hpp"
+#include "socet/rtl/instantiate.hpp"
+#include "socet/rtl/netlist.hpp"
+#include "socet/synth/elaborate.hpp"
+
+namespace socet::synth {
+namespace {
+
+using gate::GateId;
+using gate::SequentialSim;
+using rtl::FuKind;
+using rtl::Netlist;
+
+/// Drives the named input ports with single-pattern values and returns the
+/// value of an output port after `cycles` clock edges.
+class Harness {
+ public:
+  explicit Harness(const Netlist& rtl) : elab_(elaborate(rtl)), sim_(elab_.gates) {
+    sim_.reset();
+  }
+
+  void set(const std::string& port, std::uint64_t value) {
+    drive_[port] = value;
+  }
+
+  void step() {
+    std::vector<std::uint64_t> words(elab_.gates.inputs().size(), 0);
+    for (const auto& [port, bits] : elab_.input_bits) {
+      const std::uint64_t value = drive_.count(port) ? drive_.at(port) : 0;
+      for (std::size_t b = 0; b < bits.size(); ++b) {
+        words[input_pos(bits[b])] = (value >> b) & 1 ? ~0ULL : 0;
+      }
+    }
+    sim_.step(words);
+  }
+
+  std::uint64_t out(const std::string& port) const {
+    std::uint64_t value = 0;
+    const auto& bits = elab_.output_bits.at(port);
+    for (std::size_t b = 0; b < bits.size(); ++b) {
+      value |= (sim_.value(bits[b]) & 1) << b;
+    }
+    return value;
+  }
+
+  const Elaboration& elab() const { return elab_; }
+
+ private:
+  std::size_t input_pos(GateId id) const {
+    const auto& inputs = elab_.gates.inputs();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      if (inputs[i] == id) return i;
+    }
+    throw std::logic_error("input gate not found");
+  }
+
+  Elaboration elab_;
+  SequentialSim sim_;
+  std::map<std::string, std::uint64_t> drive_;
+};
+
+// ----------------------------------------------------------- combinational
+
+TEST(Elaborate, AdderComputesSum) {
+  Netlist n("add");
+  auto a = n.add_input("A", 8);
+  auto b = n.add_input("B", 8);
+  auto z = n.add_output("Z", 8);
+  auto add = n.add_fu("ADD", FuKind::kAdd, 8, 2);
+  n.connect(n.pin(a), n.fu_in(add, 0));
+  n.connect(n.pin(b), n.fu_in(add, 1));
+  n.connect(n.fu_out(add), n.pin(z));
+
+  Harness h(n);
+  h.set("A", 100);
+  h.set("B", 55);
+  h.step();
+  EXPECT_EQ(h.out("Z"), 155u);
+  h.set("A", 200);
+  h.set("B", 100);
+  h.step();
+  EXPECT_EQ(h.out("Z"), (200u + 100u) & 0xFF);  // wraps
+}
+
+TEST(Elaborate, SubtractorAndIncrement) {
+  Netlist n("arith");
+  auto a = n.add_input("A", 8);
+  auto b = n.add_input("B", 8);
+  auto zs = n.add_output("DIFF", 8);
+  auto zi = n.add_output("INC", 8);
+  auto sub = n.add_fu("SUB", FuKind::kSub, 8, 2);
+  auto inc = n.add_fu("INC", FuKind::kIncrement, 8, 1);
+  n.connect(n.pin(a), n.fu_in(sub, 0));
+  n.connect(n.pin(b), n.fu_in(sub, 1));
+  n.connect(n.fu_out(sub), n.pin(zs));
+  n.connect(n.pin(a), n.fu_in(inc, 0));
+  n.connect(n.fu_out(inc), n.pin(zi));
+
+  Harness h(n);
+  h.set("A", 77);
+  h.set("B", 33);
+  h.step();
+  EXPECT_EQ(h.out("DIFF"), 44u);
+  EXPECT_EQ(h.out("INC"), 78u);
+  h.set("A", 10);
+  h.set("B", 20);
+  h.step();
+  EXPECT_EQ(h.out("DIFF"), (10u - 20u) & 0xFF);
+  h.set("A", 255);
+  h.step();
+  EXPECT_EQ(h.out("INC"), 0u);  // wraps
+}
+
+TEST(Elaborate, Comparators) {
+  Netlist n("cmp");
+  auto a = n.add_input("A", 4);
+  auto b = n.add_input("B", 4);
+  auto ze = n.add_output("EQ", 1);
+  auto zl = n.add_output("LT", 1);
+  auto eq = n.add_fu("EQ", FuKind::kEqual, 4, 2);
+  auto lt = n.add_fu("LT", FuKind::kLess, 4, 2);
+  n.connect(n.pin(a), n.fu_in(eq, 0));
+  n.connect(n.pin(b), n.fu_in(eq, 1));
+  n.connect(n.fu_out(eq), n.pin(ze));
+  n.connect(n.pin(a), n.fu_in(lt, 0));
+  n.connect(n.pin(b), n.fu_in(lt, 1));
+  n.connect(n.fu_out(lt), n.pin(zl));
+
+  Harness h(n);
+  for (auto [av, bv] : {std::pair{3u, 3u}, {2u, 9u}, {9u, 2u}, {0u, 0u}}) {
+    h.set("A", av);
+    h.set("B", bv);
+    h.step();
+    EXPECT_EQ(h.out("EQ"), av == bv ? 1u : 0u) << av << " vs " << bv;
+    EXPECT_EQ(h.out("LT"), av < bv ? 1u : 0u) << av << " vs " << bv;
+  }
+}
+
+TEST(Elaborate, AluOps) {
+  Netlist n("alu");
+  auto a = n.add_input("A", 8);
+  auto b = n.add_input("B", 8);
+  auto op = n.add_input("OP", 2, rtl::PortKind::kControl);
+  auto z = n.add_output("Z", 8);
+  auto alu = n.add_fu("ALU", FuKind::kAlu, 8, 3);
+  n.connect(n.pin(a), n.fu_in(alu, 0));
+  n.connect(n.pin(b), n.fu_in(alu, 1));
+  n.connect(n.pin(op), n.fu_in(alu, 2));
+  n.connect(n.fu_out(alu), n.pin(z));
+
+  Harness h(n);
+  h.set("A", 0b1100);
+  h.set("B", 0b1010);
+  h.set("OP", 0);  // add
+  h.step();
+  EXPECT_EQ(h.out("Z"), 0b1100u + 0b1010u);
+  h.set("OP", 1);  // and
+  h.step();
+  EXPECT_EQ(h.out("Z"), 0b1000u);
+  h.set("OP", 2);  // or
+  h.step();
+  EXPECT_EQ(h.out("Z"), 0b1110u);
+  h.set("OP", 3);  // xor
+  h.step();
+  EXPECT_EQ(h.out("Z"), 0b0110u);
+}
+
+TEST(Elaborate, ShiftsAreWiring) {
+  Netlist n("sh");
+  auto a = n.add_input("A", 4);
+  auto zl = n.add_output("L", 4);
+  auto zr = n.add_output("R", 4);
+  auto sl = n.add_fu("SL", FuKind::kShiftLeft, 4, 1);
+  auto sr = n.add_fu("SR", FuKind::kShiftRight, 4, 1);
+  n.connect(n.pin(a), n.fu_in(sl, 0));
+  n.connect(n.fu_out(sl), n.pin(zl));
+  n.connect(n.pin(a), n.fu_in(sr, 0));
+  n.connect(n.fu_out(sr), n.pin(zr));
+
+  Harness h(n);
+  h.set("A", 0b0110);
+  h.step();
+  EXPECT_EQ(h.out("L"), 0b1100u);
+  EXPECT_EQ(h.out("R"), 0b0011u);
+}
+
+// ------------------------------------------------------------------- muxes
+
+TEST(Elaborate, MuxSelectsBySelectValue) {
+  Netlist n("mux");
+  auto a = n.add_input("A", 8);
+  auto b = n.add_input("B", 8);
+  auto c = n.add_input("C", 8);
+  auto sel = n.add_input("SEL", 2, rtl::PortKind::kControl);
+  auto z = n.add_output("Z", 8);
+  auto m = n.add_mux("M", 8, 3);
+  n.connect(n.pin(a), n.mux_in(m, 0));
+  n.connect(n.pin(b), n.mux_in(m, 1));
+  n.connect(n.pin(c), n.mux_in(m, 2));
+  n.connect(n.pin(sel), n.mux_select(m));
+  n.connect(n.mux_out(m), n.pin(z));
+
+  Harness h(n);
+  h.set("A", 11);
+  h.set("B", 22);
+  h.set("C", 33);
+  for (auto [s, expect] : {std::pair{0u, 11u}, {1u, 22u}, {2u, 33u}}) {
+    h.set("SEL", s);
+    h.step();
+    EXPECT_EQ(h.out("Z"), expect);
+  }
+  h.set("SEL", 3);  // unmapped select: all decode terms off -> 0
+  h.step();
+  EXPECT_EQ(h.out("Z"), 0u);
+}
+
+// --------------------------------------------------------------- registers
+
+TEST(Elaborate, RegisterLoadEnableHoldsValue) {
+  Netlist n("reg");
+  auto d = n.add_input("D", 8);
+  auto ld = n.add_input("LD", 1, rtl::PortKind::kControl);
+  auto z = n.add_output("Q", 8);
+  auto r = n.add_register("R", 8);
+  n.connect(n.pin(d), n.reg_d(r));
+  n.connect(n.pin(ld), n.reg_load(r));
+  n.connect(n.reg_q(r), n.pin(z));
+
+  Harness h(n);
+  h.set("D", 42);
+  h.set("LD", 1);
+  h.step();  // captured
+  h.set("D", 99);
+  h.set("LD", 0);
+  h.step();  // held
+  EXPECT_EQ(h.out("Q"), 42u);
+  h.set("LD", 1);
+  h.step();
+  EXPECT_EQ(h.out("Q"), 99u);
+}
+
+TEST(Elaborate, RegisterWithoutEnableLoadsEveryCycle) {
+  Netlist n("reg");
+  auto d = n.add_input("D", 4);
+  auto z = n.add_output("Q", 4);
+  auto r = n.add_register("R", 4, /*has_load_enable=*/false);
+  n.connect(n.pin(d), n.reg_d(r));
+  n.connect(n.reg_q(r), n.pin(z));
+
+  Harness h(n);
+  h.set("D", 5);
+  h.step();
+  EXPECT_EQ(h.out("Q"), 5u);
+  h.set("D", 9);
+  h.step();
+  EXPECT_EQ(h.out("Q"), 9u);
+}
+
+TEST(Elaborate, SlicedRegisterWrites) {
+  Netlist n("slice");
+  auto hi = n.add_input("HI", 4);
+  auto lo = n.add_input("LO", 4);
+  auto z = n.add_output("Q", 8);
+  auto r = n.add_register("R", 8, /*has_load_enable=*/false);
+  n.connect(n.pin(hi), 0, n.reg_d(r), 4, 4);
+  n.connect(n.pin(lo), 0, n.reg_d(r), 0, 4);
+  n.connect(n.reg_q(r), n.pin(z));
+
+  Harness h(n);
+  h.set("HI", 0xA);
+  h.set("LO", 0x5);
+  h.step();
+  EXPECT_EQ(h.out("Q"), 0xA5u);
+}
+
+TEST(Elaborate, UndrivenRegisterBitsHold) {
+  Netlist n("hold");
+  auto lo = n.add_input("LO", 4);
+  auto z = n.add_output("Q", 8);
+  auto r = n.add_register("R", 8, /*has_load_enable=*/false);
+  n.connect(n.pin(lo), 0, n.reg_d(r), 0, 4);  // high nibble never written
+  n.connect(n.reg_q(r), n.pin(z));
+
+  Harness h(n);
+  h.set("LO", 0xF);
+  h.step();
+  EXPECT_EQ(h.out("Q"), 0x0Fu);  // high nibble stays 0
+}
+
+// ----------------------------------------------------------- random logic
+
+TEST(Elaborate, RandomLogicDeterministicAndSized) {
+  Netlist n("ctrl");
+  auto in = n.add_input("IN", 8);
+  auto z = n.add_output("OUT", 4);
+  auto cloud = n.add_random_logic("FSM", 8, 4, 60, /*seed=*/7);
+  n.connect(n.pin(in), n.fu_in(cloud, 0));
+  n.connect(n.fu_out(cloud), n.pin(z));
+
+  auto e1 = elaborate(n);
+  auto e2 = elaborate(n);
+  EXPECT_EQ(e1.gates.gate_count(), e2.gates.gate_count());
+  // The cloud contributes ~60 gates.
+  EXPECT_GE(e1.gates.cell_count(), 60u);
+  EXPECT_NO_THROW(e1.gates.topo_order());
+}
+
+TEST(Elaborate, RandomLogicRespondsToInputs) {
+  Netlist n("ctrl");
+  auto in = n.add_input("IN", 8);
+  auto z = n.add_output("OUT", 4);
+  auto cloud = n.add_random_logic("FSM", 8, 4, 80, /*seed=*/3);
+  n.connect(n.pin(in), n.fu_in(cloud, 0));
+  n.connect(n.fu_out(cloud), n.pin(z));
+
+  Harness h(n);
+  std::set<std::uint64_t> seen;
+  for (unsigned v = 0; v < 256; ++v) {
+    h.set("IN", v);
+    h.step();
+    seen.insert(h.out("OUT"));
+  }
+  EXPECT_GT(seen.size(), 1u) << "control cloud is input-independent";
+}
+
+// ------------------------------------------------------------ integration
+
+TEST(Elaborate, InstantiatedCoresSimulateAcrossBoundary) {
+  // Core: one registered increment stage.
+  Netlist core("inc_core");
+  auto ci = core.add_input("IN", 8);
+  auto co = core.add_output("OUT", 8);
+  auto r = core.add_register("R", 8, /*has_load_enable=*/false);
+  auto inc = core.add_fu("INC", FuKind::kIncrement, 8, 1);
+  core.connect(core.pin(ci), core.fu_in(inc, 0));
+  core.connect(core.fu_out(inc), core.reg_d(r));
+  core.connect(core.reg_q(r), core.pin(co));
+
+  // Chip: two cores in series.
+  Netlist chip("chip");
+  auto pi = chip.add_input("PI", 8);
+  auto po = chip.add_output("PO", 8);
+  auto u0 = rtl::instantiate(chip, core, "U0");
+  auto u1 = rtl::instantiate(chip, core, "U1");
+  chip.connect(chip.pin(pi), chip.fu_in(u0.port_proxies.at("IN"), 0));
+  chip.connect(chip.fu_out(u0.port_proxies.at("OUT")),
+               chip.fu_in(u1.port_proxies.at("IN"), 0));
+  chip.connect(chip.fu_out(u1.port_proxies.at("OUT")), chip.pin(po));
+  chip.validate();
+
+  Harness h(chip);
+  h.set("PI", 10);
+  h.step();  // U0.R = 11
+  h.step();  // U1.R = 12
+  EXPECT_EQ(h.out("PO"), 12u);
+}
+
+TEST(Elaborate, PortProxiesAddNoArea) {
+  Netlist core("c");
+  auto i = core.add_input("I", 8);
+  auto o = core.add_output("O", 8);
+  auto r = core.add_register("R", 8, false);
+  core.connect(core.pin(i), core.reg_d(r));
+  core.connect(core.reg_q(r), core.pin(o));
+
+  Netlist chip("chip");
+  auto pi = chip.add_input("PI", 8);
+  auto po = chip.add_output("PO", 8);
+  auto u = rtl::instantiate(chip, core, "U");
+  chip.connect(chip.pin(pi), chip.fu_in(u.port_proxies.at("I"), 0));
+  chip.connect(chip.fu_out(u.port_proxies.at("O")), chip.pin(po));
+
+  auto core_elab = elaborate(core);
+  auto chip_elab = elaborate(chip);
+  EXPECT_EQ(core_elab.gates.cell_count(), chip_elab.gates.cell_count());
+}
+
+}  // namespace
+}  // namespace socet::synth

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "socet/soc/testprogram.hpp"
+#include "socet/systems/systems.hpp"
+
+namespace socet::soc {
+namespace {
+
+struct Fixture {
+  systems::System system = systems::make_barcode_system();
+  std::vector<unsigned> selection =
+      std::vector<unsigned>(system.soc->cores().size(), 0);
+  ChipTestPlan plan = plan_chip_test(*system.soc, selection);
+  TestProgram program =
+      assemble_test_program(*system.soc, selection, plan);
+};
+
+TEST(TestProgram, CoversEveryCore) {
+  Fixture f;
+  ASSERT_EQ(f.program.cores.size(), 3u);
+  EXPECT_EQ(f.program.total_cycles, f.plan.total_tat);
+  for (std::size_t c = 0; c < f.program.cores.size(); ++c) {
+    EXPECT_EQ(f.program.cores[c].total_cycles, f.plan.cores[c].tat);
+    EXPECT_EQ(f.program.cores[c].period, f.plan.cores[c].period);
+  }
+}
+
+TEST(TestProgram, FrameEventsSortedAndBounded) {
+  Fixture f;
+  for (const auto& cp : f.program.cores) {
+    unsigned previous = 0;
+    bool has_capture = false;
+    for (const auto& ev : cp.frame) {
+      EXPECT_GE(ev.cycle, previous);
+      previous = ev.cycle;
+      if (ev.kind == TestProgramEvent::Kind::kCapture) {
+        has_capture = true;
+        EXPECT_EQ(ev.cycle, cp.period - 1)
+            << "capture closes the per-vector frame";
+      }
+      if (ev.kind == TestProgramEvent::Kind::kDrivePi ||
+          ev.kind == TestProgramEvent::Kind::kTransfer) {
+        EXPECT_LT(ev.cycle, cp.period);
+      }
+    }
+    EXPECT_TRUE(has_capture);
+  }
+}
+
+TEST(TestProgram, EveryCutInputDriven) {
+  Fixture f;
+  for (std::size_t c = 0; c < f.program.cores.size(); ++c) {
+    const auto& cut = f.system.soc->core(f.program.cores[c].core);
+    for (rtl::PortId in : cut.netlist().input_ports()) {
+      bool driven = false;
+      for (const auto& ev : f.program.cores[c].frame) {
+        driven |= ev.kind == TestProgramEvent::Kind::kDrivePi &&
+                  ev.target == in;
+      }
+      EXPECT_TRUE(driven) << cut.name() << "."
+                          << cut.netlist().port(in).name;
+    }
+  }
+}
+
+TEST(TestProgram, EveryCutOutputObserved) {
+  Fixture f;
+  for (std::size_t c = 0; c < f.program.cores.size(); ++c) {
+    const auto& cut = f.system.soc->core(f.program.cores[c].core);
+    for (rtl::PortId out : cut.netlist().output_ports()) {
+      bool observed = false;
+      for (const auto& ev : f.program.cores[c].frame) {
+        observed |= ev.kind == TestProgramEvent::Kind::kObservePo &&
+                    ev.target == out;
+      }
+      EXPECT_TRUE(observed) << cut.name() << "."
+                            << cut.netlist().port(out).name;
+    }
+  }
+}
+
+TEST(TestProgram, TransfersNameIntermediateCores) {
+  // The DISPLAY's justification runs through PREPROCESSOR and CPU: both
+  // must show up as transfer (clock-run) events in its frame.
+  Fixture f;
+  const auto disp = f.system.soc->find_core("DISPLAY");
+  const auto pre = f.system.soc->find_core("PREPROCESSOR");
+  const auto cpu = f.system.soc->find_core("CPU");
+  bool saw_pre = false;
+  bool saw_cpu = false;
+  for (const auto& ev : f.program.cores[disp].frame) {
+    if (ev.kind != TestProgramEvent::Kind::kTransfer) continue;
+    saw_pre |= ev.core == pre;
+    saw_cpu |= ev.core == cpu;
+  }
+  EXPECT_TRUE(saw_pre);
+  EXPECT_TRUE(saw_cpu);
+}
+
+TEST(TestProgram, DescriptionMentionsKeyEvents) {
+  Fixture f;
+  const auto text = describe_test_program(*f.system.soc, f.program);
+  EXPECT_NE(text.find("chip test program"), std::string::npos);
+  EXPECT_NE(text.find("drive NUM"), std::string::npos);
+  EXPECT_NE(text.find("capture into DISPLAY scan chains"),
+            std::string::npos);
+  EXPECT_NE(text.find("strobe response of Address"), std::string::npos)
+      << "the PREPROCESSOR.Address response (via its system mux) must be "
+         "strobed";
+}
+
+}  // namespace
+}  // namespace socet::soc

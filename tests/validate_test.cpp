@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "socet/soc/validate.hpp"
+#include "socet/systems/synthetic.hpp"
+#include "socet/systems/systems.hpp"
+
+namespace socet::soc {
+namespace {
+
+TEST(ValidatePlan, Sys1AllSelectionsSound) {
+  auto system = systems::make_barcode_system();
+  for (unsigned v = 0; v < 3; ++v) {
+    std::vector<unsigned> selection(system.soc->cores().size(), v);
+    auto plan = plan_chip_test(*system.soc, selection);
+    auto violations = validate_plan(*system.soc, selection, plan);
+    for (const auto& violation : violations) {
+      ADD_FAILURE() << "V" << (v + 1) << ": " << violation;
+    }
+  }
+}
+
+TEST(ValidatePlan, Sys2Sound) {
+  auto system = systems::make_system2();
+  const std::vector<unsigned> selection(system.soc->cores().size(), 0);
+  auto plan = plan_chip_test(*system.soc, selection);
+  EXPECT_TRUE(validate_plan(*system.soc, selection, plan).empty());
+}
+
+TEST(ValidatePlan, DetectsTamperedPeriod) {
+  auto system = systems::make_barcode_system();
+  const std::vector<unsigned> selection(system.soc->cores().size(), 0);
+  auto plan = plan_chip_test(*system.soc, selection);
+  plan.cores[0].period += 1;
+  auto violations = validate_plan(*system.soc, selection, plan);
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST(ValidatePlan, DetectsTamperedTat) {
+  auto system = systems::make_barcode_system();
+  const std::vector<unsigned> selection(system.soc->cores().size(), 0);
+  auto plan = plan_chip_test(*system.soc, selection);
+  plan.cores[1].tat -= 1;
+  auto violations = validate_plan(*system.soc, selection, plan);
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST(ValidatePlan, DetectsTamperedRouteTiming) {
+  auto system = systems::make_barcode_system();
+  const std::vector<unsigned> selection(system.soc->cores().size(), 0);
+  auto plan = plan_chip_test(*system.soc, selection);
+  bool tampered = false;
+  for (auto& core_plan : plan.cores) {
+    for (auto& [port, route] : core_plan.input_routes) {
+      for (auto& step : route.steps) {
+        if (step.depart > 0) {
+          step.depart = 0;  // breaks arrive == depart + latency
+          tampered = true;
+          break;
+        }
+      }
+      if (tampered) break;
+    }
+    if (tampered) break;
+  }
+  ASSERT_TRUE(tampered);
+  EXPECT_FALSE(validate_plan(*system.soc, selection, plan).empty());
+}
+
+TEST(ValidatePlan, NaiveSchedulingFailsExclusivity) {
+  // The ignore_reservations ablation produces overlapping resource use —
+  // the validator must reject it somewhere (that is the ablation's point).
+  auto system = systems::make_barcode_system();
+  const std::vector<unsigned> selection(system.soc->cores().size(), 0);
+  PlanOptions naive;
+  naive.ignore_reservations = true;
+  auto plan = plan_chip_test(*system.soc, selection, naive);
+  auto violations = validate_plan(*system.soc, selection, plan);
+  bool exclusivity = false;
+  for (const auto& violation : violations) {
+    exclusivity |= violation.find("double-booked") != std::string::npos;
+  }
+  EXPECT_TRUE(exclusivity);
+}
+
+// Property sweep: every synthetic SOC yields a sound plan in every
+// uniform version selection.
+class SyntheticPlanProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SyntheticPlanProperty, PlansAreAlwaysSound) {
+  auto system = systems::make_synthetic_system(GetParam());
+  for (unsigned v = 0; v < 3; ++v) {
+    std::vector<unsigned> selection;
+    for (const auto* core : system.soc->cores()) {
+      selection.push_back(
+          std::min<unsigned>(v, static_cast<unsigned>(core->version_count() - 1)));
+    }
+    auto plan = plan_chip_test(*system.soc, selection);
+    auto violations = validate_plan(*system.soc, selection, plan);
+    for (const auto& violation : violations) {
+      ADD_FAILURE() << "seed " << GetParam() << " V" << (v + 1) << ": "
+                    << violation;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyntheticPlanProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace socet::soc

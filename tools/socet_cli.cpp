@@ -1,0 +1,302 @@
+// socet — command-line driver for the SOCET flow.
+//
+//   socet menus    [--system barcode|system2]
+//   socet plan     [--system ...] [--selection 1,2,3] [--pipelined]
+//   socet optimize [--system ...] (--area-budget N | --tat-budget N)
+//   socet explore  [--system ...]            # design-space CSV (Figure 10)
+//   socet program  [--system ...]            # assembled test program
+//   socet verilog  --core CPU [--gates]      # Verilog to stdout
+//   socet dot      (--core CPU | --ccg) [--system ...]   # Graphviz
+//   socet interface --core CPU               # shippable core interface
+//
+// Core names: CPU, PREPROCESSOR, DISPLAY, GRAPHICS, GCD, X25.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "socet/core/serialize.hpp"
+#include "socet/emit/dot.hpp"
+#include "socet/emit/verilog.hpp"
+#include "socet/opt/optimize.hpp"
+#include "socet/soc/parallel.hpp"
+#include "socet/soc/testprogram.hpp"
+#include "socet/soc/validate.hpp"
+#include "socet/synth/elaborate.hpp"
+#include "socet/systems/systems.hpp"
+#include "socet/util/table.hpp"
+
+namespace {
+
+using namespace socet;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  bool has(const std::string& key) const { return options.count(key) != 0; }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) continue;
+    token = token.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.options[token] = argv[++i];
+    } else {
+      args.options[token] = "";
+    }
+  }
+  return args;
+}
+
+systems::System load_system(const Args& args) {
+  const std::string name = args.get("system", "barcode");
+  if (name == "barcode" || name == "system1") {
+    return systems::make_barcode_system();
+  }
+  if (name == "system2") return systems::make_system2();
+  util::raise("unknown system '" + name + "' (use barcode|system2)");
+}
+
+rtl::Netlist load_core_rtl(const std::string& name) {
+  if (name == "CPU") return systems::make_cpu_rtl();
+  if (name == "PREPROCESSOR") return systems::make_preprocessor_rtl();
+  if (name == "DISPLAY") return systems::make_display_rtl();
+  if (name == "GRAPHICS") return systems::make_graphics_rtl();
+  if (name == "GCD") return systems::make_gcd_rtl();
+  if (name == "X25") return systems::make_x25_rtl();
+  util::raise("unknown core '" + name + "'");
+}
+
+std::vector<unsigned> parse_selection(const Args& args,
+                                      const systems::System& system) {
+  std::vector<unsigned> selection(system.soc->cores().size(), 0);
+  const std::string spec = args.get("selection", "");
+  if (spec.empty()) return selection;
+  std::size_t pos = 0;
+  for (std::size_t c = 0; c < selection.size(); ++c) {
+    const auto comma = spec.find(',', pos);
+    const std::string token = spec.substr(pos, comma - pos);
+    util::require(!token.empty(), "bad --selection (want e.g. 1,2,3)");
+    selection[c] = static_cast<unsigned>(std::stoul(token)) - 1;
+    util::require(selection[c] < system.soc->core(static_cast<std::uint32_t>(c))
+                                     .version_count(),
+                  "selection out of range for core " + std::to_string(c + 1));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return selection;
+}
+
+int cmd_menus(const Args& args) {
+  auto system = load_system(args);
+  for (const auto& core : system.cores) {
+    std::printf("%s (%u FFs, HSCAN %u cells, depth %u, %u scan vectors)\n",
+                core->name().c_str(), core->flip_flop_count(),
+                core->hscan_overhead_cells(), core->hscan().max_depth,
+                core->scan_vectors());
+    for (const auto& version : core->versions()) {
+      std::printf("  %-10s %4u cells:", version.name.c_str(),
+                  version.extra_cells);
+      for (const auto& edge : version.edges) {
+        std::printf(" %s->%s=%u",
+                    core->netlist().port(edge.input).name.c_str(),
+                    core->netlist().port(edge.output).name.c_str(),
+                    edge.latency);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+int cmd_plan(const Args& args) {
+  auto system = load_system(args);
+  auto selection = parse_selection(args, system);
+  soc::PlanOptions options;
+  options.allow_pipelining = args.has("pipelined");
+  auto plan = soc::plan_chip_test(*system.soc, selection, options);
+
+  util::Table table({"core", "version", "period", "flush", "TAT (cycles)",
+                     "sys-mux cells"});
+  for (const auto& core_plan : plan.cores) {
+    const auto& core = system.soc->core(core_plan.core);
+    table.add_row({core.name(),
+                   core.version(selection[core_plan.core]).name,
+                   std::to_string(core_plan.period),
+                   std::to_string(core_plan.flush),
+                   std::to_string(core_plan.tat),
+                   std::to_string(core_plan.system_mux_cells)});
+  }
+  std::printf("%s", table.to_text().c_str());
+  std::printf("total: %llu cycles, %u chip-level DFT cells\n", plan.total_tat,
+              plan.total_overhead_cells());
+  auto violations = soc::validate_plan(*system.soc, selection, plan, options);
+  for (const auto& violation : violations) {
+    std::fprintf(stderr, "VIOLATION: %s\n", violation.c_str());
+  }
+  return violations.empty() ? 0 : 1;
+}
+
+int cmd_optimize(const Args& args) {
+  auto system = load_system(args);
+  opt::DesignPoint point;
+  if (args.has("area-budget")) {
+    point = opt::minimize_tat(
+        *system.soc,
+        static_cast<unsigned>(std::stoul(args.get("area-budget", "0"))));
+  } else if (args.has("tat-budget")) {
+    point = opt::minimize_area(
+        *system.soc, std::stoull(args.get("tat-budget", "0")));
+  } else if (args.has("w1") || args.has("w2")) {
+    point = opt::minimize_weighted(*system.soc,
+                                   std::stod(args.get("w1", "1")),
+                                   std::stod(args.get("w2", "1")));
+  } else {
+    std::fprintf(stderr,
+                 "optimize needs --area-budget, --tat-budget, or --w1/--w2\n");
+    return 2;
+  }
+  std::printf("selection:");
+  for (std::size_t c = 0; c < point.selection.size(); ++c) {
+    std::printf(" %s=%s", system.soc->core(static_cast<std::uint32_t>(c))
+                              .name()
+                              .c_str(),
+                system.soc->core(static_cast<std::uint32_t>(c))
+                    .version(point.selection[c])
+                    .name.c_str());
+  }
+  std::printf("\nTAT %llu cycles, overhead %u cells, constraint %s\n",
+              point.tat, point.overhead_cells,
+              point.met_constraint ? "met" : "NOT met");
+  return point.met_constraint ? 0 : 1;
+}
+
+int cmd_explore(const Args& args) {
+  auto system = load_system(args);
+  auto points = opt::enumerate_design_space(*system.soc);
+  std::printf("selection,area_cells,tat_cycles,pareto\n");
+  auto front = opt::pareto_front(points);
+  for (const auto& point : points) {
+    bool pareto = false;
+    for (const auto& f : front) pareto |= f.selection == point.selection;
+    std::string sel;
+    for (unsigned v : point.selection) {
+      sel += (sel.empty() ? "" : "/") + std::to_string(v + 1);
+    }
+    std::printf("%s,%u,%llu,%d\n", sel.c_str(), point.overhead_cells,
+                point.tat, pareto ? 1 : 0);
+  }
+  return 0;
+}
+
+int cmd_parallel(const Args& args) {
+  auto system = load_system(args);
+  auto selection = parse_selection(args, system);
+  auto plan = soc::plan_chip_test(*system.soc, selection);
+  auto schedule = soc::schedule_parallel(*system.soc, selection, plan);
+  for (std::size_t s = 0; s < schedule.sessions.size(); ++s) {
+    std::printf("session %zu:", s + 1);
+    for (auto core : schedule.sessions[s]) {
+      std::printf(" %s", system.soc->core(core).name().c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("sequential %llu cycles -> parallel %llu cycles (%.2fx)\n",
+              schedule.sequential_tat, schedule.total_tat,
+              schedule.speedup());
+  return 0;
+}
+
+int cmd_program(const Args& args) {
+  auto system = load_system(args);
+  auto selection = parse_selection(args, system);
+  auto plan = soc::plan_chip_test(*system.soc, selection);
+  auto program = soc::assemble_test_program(*system.soc, selection, plan);
+  std::printf("%s", soc::describe_test_program(*system.soc, program).c_str());
+  return 0;
+}
+
+int cmd_verilog(const Args& args) {
+  const std::string core = args.get("core", "");
+  util::require(!core.empty(), "verilog needs --core <name>");
+  auto rtl = load_core_rtl(core);
+  if (args.has("gates")) {
+    auto elab = synth::elaborate(rtl);
+    std::printf("%s", emit::emit_verilog(elab.gates).c_str());
+  } else {
+    std::printf("%s", emit::emit_verilog(rtl).c_str());
+  }
+  return 0;
+}
+
+int cmd_dot(const Args& args) {
+  if (args.has("ccg")) {
+    auto system = load_system(args);
+    auto selection = parse_selection(args, system);
+    soc::Ccg ccg(*system.soc, selection);
+    std::printf("%s", emit::emit_dot(*system.soc, ccg).c_str());
+    return 0;
+  }
+  const std::string core = args.get("core", "");
+  util::require(!core.empty(), "dot needs --core <name> or --ccg");
+  auto rtl = load_core_rtl(core);
+  auto hs = hscan::build_hscan(rtl);
+  transparency::Rcg rcg(rtl, &hs);
+  std::printf("%s", emit::emit_dot(rcg).c_str());
+  return 0;
+}
+
+int cmd_interface(const Args& args) {
+  const std::string name = args.get("core", "");
+  util::require(!name.empty(), "interface needs --core <name>");
+  auto prepared = core::Core::prepare(load_core_rtl(name));
+  std::printf("%s", core::serialize_interface(prepared).c_str());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: socet <command> [options]\n"
+      "  menus     [--system barcode|system2]\n"
+      "  plan      [--system ...] [--selection 1,2,3] [--pipelined]\n"
+      "  optimize  [--system ...] --area-budget N | --tat-budget N |\n"
+      "            --w1 X --w2 Y (weighted objective iii)\n"
+      "  parallel  [--system ...] [--selection 1,2,3]\n"
+      "  explore   [--system ...]\n"
+      "  program   [--system ...] [--selection 1,2,3]\n"
+      "  verilog   --core NAME [--gates]\n"
+      "  dot       --core NAME | --ccg [--system ...]\n"
+      "  interface --core NAME\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    if (args.command == "menus") return cmd_menus(args);
+    if (args.command == "plan") return cmd_plan(args);
+    if (args.command == "optimize") return cmd_optimize(args);
+    if (args.command == "explore") return cmd_explore(args);
+    if (args.command == "program") return cmd_program(args);
+    if (args.command == "parallel") return cmd_parallel(args);
+    if (args.command == "verilog") return cmd_verilog(args);
+    if (args.command == "dot") return cmd_dot(args);
+    if (args.command == "interface") return cmd_interface(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
