@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scanenable.dir/bench_ablation_scanenable.cpp.o"
+  "CMakeFiles/bench_ablation_scanenable.dir/bench_ablation_scanenable.cpp.o.d"
+  "bench_ablation_scanenable"
+  "bench_ablation_scanenable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scanenable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_core_versions.dir/bench_fig8_core_versions.cpp.o"
+  "CMakeFiles/bench_fig8_core_versions.dir/bench_fig8_core_versions.cpp.o.d"
+  "bench_fig8_core_versions"
+  "bench_fig8_core_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_core_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_dft.dir/bench_related_dft.cpp.o"
+  "CMakeFiles/bench_related_dft.dir/bench_related_dft.cpp.o.d"
+  "bench_related_dft"
+  "bench_related_dft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_testability.dir/bench_table3_testability.cpp.o"
+  "CMakeFiles/bench_table3_testability.dir/bench_table3_testability.cpp.o.d"
+  "bench_table3_testability"
+  "bench_table3_testability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_testability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/barcode_walkthrough.dir/barcode_walkthrough.cpp.o"
+  "CMakeFiles/barcode_walkthrough.dir/barcode_walkthrough.cpp.o.d"
+  "barcode_walkthrough"
+  "barcode_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/barcode_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_core.dir/custom_core.cpp.o"
+  "CMakeFiles/custom_core.dir/custom_core.cpp.o.d"
+  "custom_core"
+  "custom_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hard_core_exchange.dir/hard_core_exchange.cpp.o"
+  "CMakeFiles/hard_core_exchange.dir/hard_core_exchange.cpp.o.d"
+  "hard_core_exchange"
+  "hard_core_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hard_core_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("rtl")
+subdirs("gate")
+subdirs("synth")
+subdirs("faultsim")
+subdirs("atpg")
+subdirs("hscan")
+subdirs("transparency")
+subdirs("core")
+subdirs("soc")
+subdirs("opt")
+subdirs("baselines")
+subdirs("bist")
+subdirs("emit")
+subdirs("systems")

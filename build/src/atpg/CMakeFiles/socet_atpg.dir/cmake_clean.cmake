@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socet_atpg.dir/atpg.cpp.o"
+  "CMakeFiles/socet_atpg.dir/atpg.cpp.o.d"
+  "CMakeFiles/socet_atpg.dir/podem.cpp.o"
+  "CMakeFiles/socet_atpg.dir/podem.cpp.o.d"
+  "CMakeFiles/socet_atpg.dir/sequential.cpp.o"
+  "CMakeFiles/socet_atpg.dir/sequential.cpp.o.d"
+  "libsocet_atpg.a"
+  "libsocet_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socet_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

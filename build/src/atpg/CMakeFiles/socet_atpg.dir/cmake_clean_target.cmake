@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsocet_atpg.a"
+)

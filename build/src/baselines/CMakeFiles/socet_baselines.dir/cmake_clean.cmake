@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socet_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/socet_baselines.dir/baselines.cpp.o.d"
+  "libsocet_baselines.a"
+  "libsocet_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socet_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

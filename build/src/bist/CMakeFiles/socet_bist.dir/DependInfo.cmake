@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bist/march.cpp" "src/bist/CMakeFiles/socet_bist.dir/march.cpp.o" "gcc" "src/bist/CMakeFiles/socet_bist.dir/march.cpp.o.d"
+  "/root/repo/src/bist/memory.cpp" "src/bist/CMakeFiles/socet_bist.dir/memory.cpp.o" "gcc" "src/bist/CMakeFiles/socet_bist.dir/memory.cpp.o.d"
+  "/root/repo/src/bist/signature.cpp" "src/bist/CMakeFiles/socet_bist.dir/signature.cpp.o" "gcc" "src/bist/CMakeFiles/socet_bist.dir/signature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/socet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

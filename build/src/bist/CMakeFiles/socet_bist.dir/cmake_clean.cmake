@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socet_bist.dir/march.cpp.o"
+  "CMakeFiles/socet_bist.dir/march.cpp.o.d"
+  "CMakeFiles/socet_bist.dir/memory.cpp.o"
+  "CMakeFiles/socet_bist.dir/memory.cpp.o.d"
+  "CMakeFiles/socet_bist.dir/signature.cpp.o"
+  "CMakeFiles/socet_bist.dir/signature.cpp.o.d"
+  "libsocet_bist.a"
+  "libsocet_bist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socet_bist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socet_core.dir/core.cpp.o"
+  "CMakeFiles/socet_core.dir/core.cpp.o.d"
+  "CMakeFiles/socet_core.dir/serialize.cpp.o"
+  "CMakeFiles/socet_core.dir/serialize.cpp.o.d"
+  "libsocet_core.a"
+  "libsocet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

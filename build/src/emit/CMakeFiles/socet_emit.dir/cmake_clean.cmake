@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socet_emit.dir/dot.cpp.o"
+  "CMakeFiles/socet_emit.dir/dot.cpp.o.d"
+  "CMakeFiles/socet_emit.dir/verilog.cpp.o"
+  "CMakeFiles/socet_emit.dir/verilog.cpp.o.d"
+  "libsocet_emit.a"
+  "libsocet_emit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socet_emit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faultsim/diagnosis.cpp" "src/faultsim/CMakeFiles/socet_faultsim.dir/diagnosis.cpp.o" "gcc" "src/faultsim/CMakeFiles/socet_faultsim.dir/diagnosis.cpp.o.d"
+  "/root/repo/src/faultsim/faults.cpp" "src/faultsim/CMakeFiles/socet_faultsim.dir/faults.cpp.o" "gcc" "src/faultsim/CMakeFiles/socet_faultsim.dir/faults.cpp.o.d"
+  "/root/repo/src/faultsim/scan_sim.cpp" "src/faultsim/CMakeFiles/socet_faultsim.dir/scan_sim.cpp.o" "gcc" "src/faultsim/CMakeFiles/socet_faultsim.dir/scan_sim.cpp.o.d"
+  "/root/repo/src/faultsim/seq_sim.cpp" "src/faultsim/CMakeFiles/socet_faultsim.dir/seq_sim.cpp.o" "gcc" "src/faultsim/CMakeFiles/socet_faultsim.dir/seq_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gate/CMakeFiles/socet_gate.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/socet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

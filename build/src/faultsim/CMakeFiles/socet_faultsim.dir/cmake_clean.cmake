@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socet_faultsim.dir/diagnosis.cpp.o"
+  "CMakeFiles/socet_faultsim.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/socet_faultsim.dir/faults.cpp.o"
+  "CMakeFiles/socet_faultsim.dir/faults.cpp.o.d"
+  "CMakeFiles/socet_faultsim.dir/scan_sim.cpp.o"
+  "CMakeFiles/socet_faultsim.dir/scan_sim.cpp.o.d"
+  "CMakeFiles/socet_faultsim.dir/seq_sim.cpp.o"
+  "CMakeFiles/socet_faultsim.dir/seq_sim.cpp.o.d"
+  "libsocet_faultsim.a"
+  "libsocet_faultsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socet_faultsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socet_gate.dir/netlist.cpp.o"
+  "CMakeFiles/socet_gate.dir/netlist.cpp.o.d"
+  "CMakeFiles/socet_gate.dir/sim.cpp.o"
+  "CMakeFiles/socet_gate.dir/sim.cpp.o.d"
+  "libsocet_gate.a"
+  "libsocet_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socet_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socet_hscan.dir/hscan.cpp.o"
+  "CMakeFiles/socet_hscan.dir/hscan.cpp.o.d"
+  "libsocet_hscan.a"
+  "libsocet_hscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socet_hscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socet_opt.dir/optimize.cpp.o"
+  "CMakeFiles/socet_opt.dir/optimize.cpp.o.d"
+  "libsocet_opt.a"
+  "libsocet_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socet_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

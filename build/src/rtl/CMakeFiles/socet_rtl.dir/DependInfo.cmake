@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/instantiate.cpp" "src/rtl/CMakeFiles/socet_rtl.dir/instantiate.cpp.o" "gcc" "src/rtl/CMakeFiles/socet_rtl.dir/instantiate.cpp.o.d"
+  "/root/repo/src/rtl/interpreter.cpp" "src/rtl/CMakeFiles/socet_rtl.dir/interpreter.cpp.o" "gcc" "src/rtl/CMakeFiles/socet_rtl.dir/interpreter.cpp.o.d"
+  "/root/repo/src/rtl/netlist.cpp" "src/rtl/CMakeFiles/socet_rtl.dir/netlist.cpp.o" "gcc" "src/rtl/CMakeFiles/socet_rtl.dir/netlist.cpp.o.d"
+  "/root/repo/src/rtl/paths.cpp" "src/rtl/CMakeFiles/socet_rtl.dir/paths.cpp.o" "gcc" "src/rtl/CMakeFiles/socet_rtl.dir/paths.cpp.o.d"
+  "/root/repo/src/rtl/text.cpp" "src/rtl/CMakeFiles/socet_rtl.dir/text.cpp.o" "gcc" "src/rtl/CMakeFiles/socet_rtl.dir/text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/socet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socet_rtl.dir/instantiate.cpp.o"
+  "CMakeFiles/socet_rtl.dir/instantiate.cpp.o.d"
+  "CMakeFiles/socet_rtl.dir/interpreter.cpp.o"
+  "CMakeFiles/socet_rtl.dir/interpreter.cpp.o.d"
+  "CMakeFiles/socet_rtl.dir/netlist.cpp.o"
+  "CMakeFiles/socet_rtl.dir/netlist.cpp.o.d"
+  "CMakeFiles/socet_rtl.dir/paths.cpp.o"
+  "CMakeFiles/socet_rtl.dir/paths.cpp.o.d"
+  "CMakeFiles/socet_rtl.dir/text.cpp.o"
+  "CMakeFiles/socet_rtl.dir/text.cpp.o.d"
+  "libsocet_rtl.a"
+  "libsocet_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socet_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/ccg.cpp" "src/soc/CMakeFiles/socet_soc.dir/ccg.cpp.o" "gcc" "src/soc/CMakeFiles/socet_soc.dir/ccg.cpp.o.d"
+  "/root/repo/src/soc/controller.cpp" "src/soc/CMakeFiles/socet_soc.dir/controller.cpp.o" "gcc" "src/soc/CMakeFiles/socet_soc.dir/controller.cpp.o.d"
+  "/root/repo/src/soc/flatten.cpp" "src/soc/CMakeFiles/socet_soc.dir/flatten.cpp.o" "gcc" "src/soc/CMakeFiles/socet_soc.dir/flatten.cpp.o.d"
+  "/root/repo/src/soc/parallel.cpp" "src/soc/CMakeFiles/socet_soc.dir/parallel.cpp.o" "gcc" "src/soc/CMakeFiles/socet_soc.dir/parallel.cpp.o.d"
+  "/root/repo/src/soc/schedule.cpp" "src/soc/CMakeFiles/socet_soc.dir/schedule.cpp.o" "gcc" "src/soc/CMakeFiles/socet_soc.dir/schedule.cpp.o.d"
+  "/root/repo/src/soc/soc.cpp" "src/soc/CMakeFiles/socet_soc.dir/soc.cpp.o" "gcc" "src/soc/CMakeFiles/socet_soc.dir/soc.cpp.o.d"
+  "/root/repo/src/soc/testprogram.cpp" "src/soc/CMakeFiles/socet_soc.dir/testprogram.cpp.o" "gcc" "src/soc/CMakeFiles/socet_soc.dir/testprogram.cpp.o.d"
+  "/root/repo/src/soc/validate.cpp" "src/soc/CMakeFiles/socet_soc.dir/validate.cpp.o" "gcc" "src/soc/CMakeFiles/socet_soc.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/socet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transparency/CMakeFiles/socet_transparency.dir/DependInfo.cmake"
+  "/root/repo/build/src/hscan/CMakeFiles/socet_hscan.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/socet_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/socet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

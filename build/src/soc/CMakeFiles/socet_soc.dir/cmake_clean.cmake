@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socet_soc.dir/ccg.cpp.o"
+  "CMakeFiles/socet_soc.dir/ccg.cpp.o.d"
+  "CMakeFiles/socet_soc.dir/controller.cpp.o"
+  "CMakeFiles/socet_soc.dir/controller.cpp.o.d"
+  "CMakeFiles/socet_soc.dir/flatten.cpp.o"
+  "CMakeFiles/socet_soc.dir/flatten.cpp.o.d"
+  "CMakeFiles/socet_soc.dir/parallel.cpp.o"
+  "CMakeFiles/socet_soc.dir/parallel.cpp.o.d"
+  "CMakeFiles/socet_soc.dir/schedule.cpp.o"
+  "CMakeFiles/socet_soc.dir/schedule.cpp.o.d"
+  "CMakeFiles/socet_soc.dir/soc.cpp.o"
+  "CMakeFiles/socet_soc.dir/soc.cpp.o.d"
+  "CMakeFiles/socet_soc.dir/testprogram.cpp.o"
+  "CMakeFiles/socet_soc.dir/testprogram.cpp.o.d"
+  "CMakeFiles/socet_soc.dir/validate.cpp.o"
+  "CMakeFiles/socet_soc.dir/validate.cpp.o.d"
+  "libsocet_soc.a"
+  "libsocet_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socet_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

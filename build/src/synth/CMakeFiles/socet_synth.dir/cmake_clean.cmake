@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socet_synth.dir/elaborate.cpp.o"
+  "CMakeFiles/socet_synth.dir/elaborate.cpp.o.d"
+  "libsocet_synth.a"
+  "libsocet_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socet_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

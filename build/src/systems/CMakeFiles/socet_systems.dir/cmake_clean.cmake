@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socet_systems.dir/barcode.cpp.o"
+  "CMakeFiles/socet_systems.dir/barcode.cpp.o.d"
+  "CMakeFiles/socet_systems.dir/synthetic.cpp.o"
+  "CMakeFiles/socet_systems.dir/synthetic.cpp.o.d"
+  "CMakeFiles/socet_systems.dir/system2.cpp.o"
+  "CMakeFiles/socet_systems.dir/system2.cpp.o.d"
+  "libsocet_systems.a"
+  "libsocet_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socet_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

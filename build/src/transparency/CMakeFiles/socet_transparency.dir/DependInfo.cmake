@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transparency/rcg.cpp" "src/transparency/CMakeFiles/socet_transparency.dir/rcg.cpp.o" "gcc" "src/transparency/CMakeFiles/socet_transparency.dir/rcg.cpp.o.d"
+  "/root/repo/src/transparency/search.cpp" "src/transparency/CMakeFiles/socet_transparency.dir/search.cpp.o" "gcc" "src/transparency/CMakeFiles/socet_transparency.dir/search.cpp.o.d"
+  "/root/repo/src/transparency/versions.cpp" "src/transparency/CMakeFiles/socet_transparency.dir/versions.cpp.o" "gcc" "src/transparency/CMakeFiles/socet_transparency.dir/versions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/socet_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/hscan/CMakeFiles/socet_hscan.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/socet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socet_transparency.dir/rcg.cpp.o"
+  "CMakeFiles/socet_transparency.dir/rcg.cpp.o.d"
+  "CMakeFiles/socet_transparency.dir/search.cpp.o"
+  "CMakeFiles/socet_transparency.dir/search.cpp.o.d"
+  "CMakeFiles/socet_transparency.dir/versions.cpp.o"
+  "CMakeFiles/socet_transparency.dir/versions.cpp.o.d"
+  "libsocet_transparency.a"
+  "libsocet_transparency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socet_transparency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socet_util.dir/bitvector.cpp.o"
+  "CMakeFiles/socet_util.dir/bitvector.cpp.o.d"
+  "CMakeFiles/socet_util.dir/table.cpp.o"
+  "CMakeFiles/socet_util.dir/table.cpp.o.d"
+  "libsocet_util.a"
+  "libsocet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

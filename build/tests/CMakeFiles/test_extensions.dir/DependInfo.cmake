@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/test_extensions.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/test_extensions.dir/extensions_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/atpg/CMakeFiles/socet_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/socet_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/socet_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/CMakeFiles/socet_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/socet_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultsim/CMakeFiles/socet_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/socet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transparency/CMakeFiles/socet_transparency.dir/DependInfo.cmake"
+  "/root/repo/build/src/hscan/CMakeFiles/socet_hscan.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/socet_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/gate/CMakeFiles/socet_gate.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/socet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hscan.dir/hscan_test.cpp.o"
+  "CMakeFiles/test_hscan.dir/hscan_test.cpp.o.d"
+  "test_hscan"
+  "test_hscan.pdb"
+  "test_hscan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

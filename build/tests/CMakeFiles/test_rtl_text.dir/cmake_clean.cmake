@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl_text.dir/rtl_text_test.cpp.o"
+  "CMakeFiles/test_rtl_text.dir/rtl_text_test.cpp.o.d"
+  "test_rtl_text"
+  "test_rtl_text.pdb"
+  "test_rtl_text[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

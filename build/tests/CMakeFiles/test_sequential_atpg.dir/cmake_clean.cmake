@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sequential_atpg.dir/sequential_atpg_test.cpp.o"
+  "CMakeFiles/test_sequential_atpg.dir/sequential_atpg_test.cpp.o.d"
+  "test_sequential_atpg"
+  "test_sequential_atpg.pdb"
+  "test_sequential_atpg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sequential_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

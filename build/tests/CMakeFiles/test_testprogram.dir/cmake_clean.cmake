@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_testprogram.dir/testprogram_test.cpp.o"
+  "CMakeFiles/test_testprogram.dir/testprogram_test.cpp.o.d"
+  "test_testprogram"
+  "test_testprogram.pdb"
+  "test_testprogram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_testprogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

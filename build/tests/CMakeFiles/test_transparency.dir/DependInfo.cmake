@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transparency_test.cpp" "tests/CMakeFiles/test_transparency.dir/transparency_test.cpp.o" "gcc" "tests/CMakeFiles/test_transparency.dir/transparency_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transparency/CMakeFiles/socet_transparency.dir/DependInfo.cmake"
+  "/root/repo/build/src/hscan/CMakeFiles/socet_hscan.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/socet_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/socet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socet.dir/socet_cli.cpp.o"
+  "CMakeFiles/socet.dir/socet_cli.cpp.o.d"
+  "socet"
+  "socet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
