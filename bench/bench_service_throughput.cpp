@@ -1,0 +1,145 @@
+// Planning-service throughput: worker-pool scaling and cache hit-rate.
+//
+// Phase 1 runs a 64-job workload of *unique* jobs (cache disabled, so
+// memoization cannot mask pool scaling) at 1/2/4/8 threads and reports
+// jobs/sec and speedup over the single-thread run, verifying the batch
+// output is byte-identical at every thread count.  Phase 2 runs a
+// repeated workload (8 unique jobs x 8 copies) through a caching service
+// and reports the hit-rate.
+//
+// Gates: determinism and a > 50% hit-rate always; the >= 2x speedup gate
+// at 4 threads only when the host actually has >= 4 hardware threads
+// (a single-CPU container cannot speed up CPU-bound work, and
+// pretending otherwise would make the bench flaky instead of useful).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "socet/service/service.hpp"
+#include "socet/util/table.hpp"
+
+namespace {
+
+using namespace socet;
+
+std::vector<std::string> unique_workload() {
+  std::vector<std::string> lines;
+  for (unsigned a = 1; a <= 3; ++a) {
+    for (unsigned b = 1; b <= 3; ++b) {
+      for (unsigned c = 1; c <= 3; ++c) {
+        lines.push_back("plan system=barcode selection=" + std::to_string(a) +
+                        "," + std::to_string(b) + "," + std::to_string(c));
+      }
+    }
+  }
+  for (unsigned budget = 0; budget <= 100; budget += 20) {
+    lines.push_back("optimize system=barcode area-budget=" +
+                    std::to_string(budget));
+    lines.push_back("optimize system=system2 area-budget=" +
+                    std::to_string(budget));
+  }
+  for (unsigned seed = 1; seed <= 19; ++seed) {
+    lines.push_back("plan system=synthetic:" + std::to_string(seed) + ":6");
+  }
+  lines.push_back("explore system=barcode");
+  lines.push_back("explore system=system2");
+  lines.push_back("parallel system=barcode");
+  lines.push_back("parallel system=system2");
+  lines.push_back("program system=barcode");
+  lines.push_back("program system=system2");
+  lines.resize(64);
+  return lines;
+}
+
+std::vector<std::string> repeated_workload() {
+  // 8 unique jobs x 8 copies, round-robin interleaved so a copy rarely
+  // races its original while it is still in flight.
+  const auto all = unique_workload();
+  const std::vector<std::string> unique(all.begin(), all.begin() + 8);
+  std::vector<std::string> lines;
+  for (unsigned rep = 0; rep < 8; ++rep) {
+    for (const auto& line : unique) lines.push_back(line);
+  }
+  return lines;
+}
+
+double best_of(unsigned runs, const std::vector<std::string>& lines,
+               unsigned threads, std::string* records) {
+  double best_ms = 0;
+  for (unsigned r = 0; r < runs; ++r) {
+    service::PlanningService svc({threads, /*cache_capacity=*/0});
+    const auto report = svc.run_lines(lines);
+    if (report.errors != 0) {
+      std::printf("FAIL: %u errors at %u threads\n", report.errors, threads);
+      std::exit(1);
+    }
+    if (r == 0) *records = report.records_text();
+    if (r == 0 || report.wall_ms < best_ms) best_ms = report.wall_ms;
+  }
+  return best_ms;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("service throughput, 64 unique jobs, cache off, best of 3 "
+              "(host: %u hardware thread%s)\n",
+              hw, hw == 1 ? "" : "s");
+
+  const auto lines = unique_workload();
+  bool ok = true;
+  std::string baseline;
+  double baseline_ms = 0;
+  double speedup4 = 0;
+  util::Table scaling({"threads", "wall (ms)", "jobs/sec", "speedup"});
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    std::string records;
+    const double ms = best_of(3, lines, threads, &records);
+    if (threads == 1) {
+      baseline = records;
+      baseline_ms = ms;
+    } else if (records != baseline) {
+      std::printf("FAIL: %u-thread records differ from 1-thread records\n",
+                  threads);
+      ok = false;
+    }
+    const double speedup = baseline_ms / ms;
+    if (threads == 4) speedup4 = speedup;
+    scaling.add_row({std::to_string(threads), util::Table::num(ms, 2),
+                     util::Table::num(64.0 * 1000.0 / ms),
+                     util::Table::num(speedup, 2) + "x"});
+  }
+  std::printf("%s", scaling.to_text().c_str());
+
+  if (hw >= 4 && speedup4 < 2.0) {
+    std::printf("FAIL: expected >= 2x speedup at 4 threads on a %u-thread "
+                "host, got %.2fx\n",
+                hw, speedup4);
+    ok = false;
+  } else if (hw < 4) {
+    std::printf("note: speedup gate skipped (host has %u hardware "
+                "thread%s; >= 4 needed for a meaningful 4-thread gate)\n",
+                hw, hw == 1 ? "" : "s");
+  }
+
+  std::printf("\nrepeated workload, 8 unique jobs x 8 copies, cache on, "
+              "4 threads\n");
+  service::PlanningService cached({4, 4096});
+  const auto report = cached.run_lines(repeated_workload());
+  std::printf("%s", report.summary_table().c_str());
+  if (report.errors != 0) {
+    std::printf("FAIL: %u errors in repeated workload\n", report.errors);
+    ok = false;
+  }
+  if (report.cache.hit_rate() <= 0.5) {
+    std::printf("FAIL: cache hit-rate %.1f%% (want > 50%%)\n",
+                report.cache.hit_rate() * 100.0);
+    ok = false;
+  }
+
+  std::printf(ok ? "PASS\n" : "");
+  return ok ? 0 : 1;
+}

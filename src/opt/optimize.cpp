@@ -178,12 +178,11 @@ DesignPoint minimize_weighted(const Soc& soc, double w1, double w2,
   return best;
 }
 
-std::vector<DesignPoint> enumerate_design_space(const Soc& soc,
-                                                const OptimizeOptions& options) {
-  std::vector<DesignPoint> points;
+std::vector<std::vector<unsigned>> enumerate_selections(const Soc& soc) {
+  std::vector<std::vector<unsigned>> selections;
   std::vector<unsigned> selection(soc.cores().size(), 0);
   while (true) {
-    points.push_back(evaluate(soc, selection, options));
+    selections.push_back(selection);
     // Odometer increment over the version menus.
     std::size_t c = 0;
     while (c < selection.size()) {
@@ -195,6 +194,15 @@ std::vector<DesignPoint> enumerate_design_space(const Soc& soc,
       ++c;
     }
     if (c == selection.size()) break;
+  }
+  return selections;
+}
+
+std::vector<DesignPoint> enumerate_design_space(const Soc& soc,
+                                                const OptimizeOptions& options) {
+  std::vector<DesignPoint> points;
+  for (auto& selection : enumerate_selections(soc)) {
+    points.push_back(evaluate(soc, std::move(selection), options));
   }
   std::sort(points.begin(), points.end(),
             [](const DesignPoint& a, const DesignPoint& b) {
@@ -223,6 +231,30 @@ std::vector<DesignPoint> pareto_front(std::vector<DesignPoint> points) {
     }
   }
   return front;
+}
+
+std::string design_space_csv(std::vector<DesignPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const DesignPoint& a, const DesignPoint& b) {
+              if (a.overhead_cells != b.overhead_cells) {
+                return a.overhead_cells < b.overhead_cells;
+              }
+              if (a.tat != b.tat) return a.tat < b.tat;
+              return a.selection < b.selection;
+            });
+  auto front = pareto_front(points);
+  std::string csv = "selection,area_cells,tat_cycles,pareto\n";
+  for (const auto& point : points) {
+    bool pareto = false;
+    for (const auto& f : front) pareto |= f.selection == point.selection;
+    std::string sel;
+    for (unsigned v : point.selection) {
+      sel += (sel.empty() ? "" : "/") + std::to_string(v + 1);
+    }
+    csv += sel + "," + std::to_string(point.overhead_cells) + "," +
+           std::to_string(point.tat) + "," + (pareto ? "1" : "0") + "\n";
+  }
+  return csv;
 }
 
 }  // namespace socet::opt

@@ -1,0 +1,47 @@
+#include "socet/service/cache.hpp"
+
+namespace socet::service {
+
+std::optional<PlanCache::Entry> PlanCache::lookup(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->second;
+}
+
+void PlanCache::insert(std::uint64_t key, Entry entry) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Two workers raced on the same content; results are deterministic,
+    // so keep the incumbent and just refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(entry));
+  index_.emplace(key, lru_.begin());
+  ++stats_.insertions;
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+CacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace socet::service

@@ -1,0 +1,94 @@
+// The concurrent planning service.
+//
+// A PlanningService owns a fixed worker pool and a shared
+// content-addressed plan cache (see cache.hpp).  A batch of jobs is
+// enqueued on a work queue (queue.hpp); each worker pops jobs, resolves
+// the named system from a thread-local instance table (system
+// construction and planning share zero mutable state across threads),
+// consults the cache, and writes its result into a pre-sized slot —
+// so results always come back in input order and `--threads 8` output
+// is byte-identical to `--threads 1`.
+//
+// Error isolation: a malformed job line or a job that throws
+// (unknown system, selection out of range) produces an error *record*
+// in its slot; the rest of the batch is unaffected.  The batch-level
+// `errors` count is what the CLI turns into its exit code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "socet/service/cache.hpp"
+#include "socet/service/job.hpp"
+
+namespace socet::service {
+
+struct ServiceOptions {
+  /// Worker threads.  1 = still through the pool machinery, just serial.
+  unsigned threads = 1;
+  /// LRU entries; 0 disables memoization.
+  std::size_t cache_capacity = 4096;
+};
+
+/// One finished job.  `record` is the deterministic line the CLI prints
+/// (no timing — timing lives in the counters so output stays
+/// byte-stable across runs and thread counts).
+struct JobResult {
+  std::size_t index = 0;  ///< position in the submitted batch
+  bool ok = false;
+  std::string record;
+  std::uint64_t key = 0;  ///< content hash (0 for parse failures)
+  bool cache_hit = false;
+  /// Numeric payload for plan/optimize verbs (drives sweep aggregation).
+  unsigned long long tat = 0;
+  unsigned overhead_cells = 0;
+  double queue_us = 0;  ///< enqueue -> worker pickup
+  double wall_us = 0;   ///< worker pickup -> done
+};
+
+struct BatchReport {
+  std::vector<JobResult> results;  ///< input order
+  CacheStats cache;                ///< delta accrued by this batch
+  unsigned errors = 0;
+  double wall_ms = 0;  ///< whole batch, enqueue to join
+
+  /// Service counters rendered with util::Table: jobs, errors, cache
+  /// hits/misses, mean queue/wall time per job, batch wall clock.
+  [[nodiscard]] std::string summary_table() const;
+  /// All result records, one per line — exactly what `socet batch`
+  /// prints to stdout.
+  [[nodiscard]] std::string records_text() const;
+};
+
+class PlanningService {
+ public:
+  explicit PlanningService(ServiceOptions options = {});
+
+  /// Execute a batch on the worker pool; results land in input order.
+  BatchReport run(const std::vector<Job>& jobs);
+
+  /// Line front-end: `#` comments and blank lines are skipped (they
+  /// produce no result slot); a malformed job line yields an error
+  /// record for its position instead of aborting the batch.
+  BatchReport run_lines(const std::vector<std::string>& lines);
+
+  [[nodiscard]] const PlanCache& cache() const { return cache_; }
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+
+ private:
+  ServiceOptions options_;
+  PlanCache cache_;
+};
+
+/// The content-addressed cache key of `job`: FNV-1a over the canonical
+/// job line chained with the plan-option fingerprint
+/// (soc::plan_options_key).  Exposed for tests.
+std::uint64_t job_key(const Job& job);
+
+/// Parallel design-space sweep: fans one `plan` job per version
+/// selection of `system` through `service`, then renders
+/// opt::design_space_csv — byte-identical to serial `socet explore`.
+std::string sweep_csv(const std::string& system, PlanningService& service);
+
+}  // namespace socet::service

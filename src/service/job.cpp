@@ -1,0 +1,178 @@
+#include "socet/service/job.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+#include "socet/util/error.hpp"
+
+namespace socet::service {
+
+namespace {
+
+unsigned long long parse_count(const std::string& token,
+                               const std::string& what) {
+  unsigned long long value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  util::require(ec == std::errc() && ptr == token.data() + token.size(),
+                "bad " + what + " '" + token + "' (want a number)");
+  return value;
+}
+
+double parse_weight(const std::string& token, const std::string& what) {
+  std::size_t consumed = 0;
+  double value = 0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  util::require(consumed == token.size() && !token.empty(),
+                "bad " + what + " '" + token + "' (want a number)");
+  return value;
+}
+
+std::string format_weight(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+const char* verb_name(Verb verb) {
+  switch (verb) {
+    case Verb::kPlan: return "plan";
+    case Verb::kOptimize: return "optimize";
+    case Verb::kExplore: return "explore";
+    case Verb::kParallel: return "parallel";
+    case Verb::kProgram: return "program";
+  }
+  return "?";
+}
+
+std::vector<unsigned> parse_selection_spec(const std::string& spec) {
+  util::require(!spec.empty(), "empty selection (want e.g. 1,2,3)");
+  std::vector<unsigned> selection;
+  std::size_t pos = 0;
+  while (true) {
+    const auto comma = spec.find(',', pos);
+    const std::string token = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    util::require(!token.empty(),
+                  "bad selection '" + spec + "' (empty token)");
+    const unsigned long long value = parse_count(token, "selection token");
+    util::require(value >= 1,
+                  "bad selection token '" + token +
+                      "' (version indices are 1-based)");
+    selection.push_back(static_cast<unsigned>(value - 1));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return selection;
+}
+
+Job parse_job_line(const std::string& line) {
+  std::istringstream stream(line);
+  std::string token;
+  util::require(static_cast<bool>(stream >> token), "empty job line");
+
+  Job job;
+  if (token == "plan") {
+    job.verb = Verb::kPlan;
+  } else if (token == "optimize") {
+    job.verb = Verb::kOptimize;
+  } else if (token == "explore") {
+    job.verb = Verb::kExplore;
+  } else if (token == "parallel") {
+    job.verb = Verb::kParallel;
+  } else if (token == "program") {
+    job.verb = Verb::kProgram;
+  } else {
+    util::raise("unknown verb '" + token +
+                "' (want plan|optimize|explore|parallel|program)");
+  }
+
+  const bool takes_selection = job.verb == Verb::kPlan ||
+                               job.verb == Verb::kParallel ||
+                               job.verb == Verb::kProgram;
+  while (stream >> token) {
+    const auto eq = token.find('=');
+    const std::string key = token.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : token.substr(eq + 1);
+    const bool has_value = eq != std::string::npos;
+
+    if (key == "system" && has_value) {
+      util::require(!value.empty(), "empty system name");
+      job.system = value;
+    } else if (key == "selection" && has_value) {
+      util::require(takes_selection, std::string("'selection' does not apply"
+                                                 " to verb ") +
+                                         verb_name(job.verb));
+      job.selection = parse_selection_spec(value);
+    } else if (key == "pipelined" && !has_value) {
+      util::require(job.verb == Verb::kPlan,
+                    "'pipelined' only applies to verb plan");
+      job.pipelined = true;
+    } else if (key == "area-budget" && has_value) {
+      util::require(job.verb == Verb::kOptimize,
+                    "'area-budget' only applies to verb optimize");
+      util::require(job.objective == Job::Objective::kNone,
+                    "optimize takes exactly one objective");
+      job.objective = Job::Objective::kAreaBudget;
+      job.area_budget = static_cast<unsigned>(parse_count(value, key));
+    } else if (key == "tat-budget" && has_value) {
+      util::require(job.verb == Verb::kOptimize,
+                    "'tat-budget' only applies to verb optimize");
+      util::require(job.objective == Job::Objective::kNone,
+                    "optimize takes exactly one objective");
+      job.objective = Job::Objective::kTatBudget;
+      job.tat_budget = parse_count(value, key);
+    } else if ((key == "w1" || key == "w2") && has_value) {
+      util::require(job.verb == Verb::kOptimize,
+                    "'" + key + "' only applies to verb optimize");
+      util::require(job.objective == Job::Objective::kNone ||
+                        job.objective == Job::Objective::kWeighted,
+                    "optimize takes exactly one objective");
+      job.objective = Job::Objective::kWeighted;
+      (key == "w1" ? job.w1 : job.w2) = parse_weight(value, key);
+    } else {
+      util::raise("bad job option '" + token + "'");
+    }
+  }
+
+  util::require(job.verb != Verb::kOptimize ||
+                    job.objective != Job::Objective::kNone,
+                "optimize needs area-budget=N, tat-budget=N, or w1=X/w2=Y");
+  return job;
+}
+
+std::string canonical_job_line(const Job& job) {
+  std::string line = verb_name(job.verb);
+  line += " system=" + job.system;
+  if (!job.selection.empty()) {
+    line += " selection=";
+    for (std::size_t c = 0; c < job.selection.size(); ++c) {
+      line += (c == 0 ? "" : ",") + std::to_string(job.selection[c] + 1);
+    }
+  }
+  if (job.pipelined) line += " pipelined";
+  switch (job.objective) {
+    case Job::Objective::kNone:
+      break;
+    case Job::Objective::kAreaBudget:
+      line += " area-budget=" + std::to_string(job.area_budget);
+      break;
+    case Job::Objective::kTatBudget:
+      line += " tat-budget=" + std::to_string(job.tat_budget);
+      break;
+    case Job::Objective::kWeighted:
+      line += " w1=" + format_weight(job.w1) + " w2=" + format_weight(job.w2);
+      break;
+  }
+  return line;
+}
+
+}  // namespace socet::service

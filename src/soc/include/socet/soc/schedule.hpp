@@ -129,4 +129,10 @@ ChipTestPlan plan_chip_test(const Soc& soc,
                             const std::vector<unsigned>& selection,
                             const PlanOptions& options = {});
 
+/// Stable, injective text encoding of every PlanOptions field.  Two option
+/// sets produce the same key iff plan_chip_test behaves identically for
+/// them — the planning service folds this into its content-addressed
+/// cache key.
+std::string plan_options_key(const PlanOptions& options);
+
 }  // namespace socet::soc

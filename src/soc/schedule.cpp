@@ -276,4 +276,23 @@ ChipTestPlan plan_chip_test(const Soc& soc,
   return plan;
 }
 
+std::string plan_options_key(const PlanOptions& options) {
+  std::string key = "mux=" + std::to_string(options.system_mux_per_bit) + "+" +
+                    std::to_string(options.system_mux_control) +
+                    ";ctrl=" + std::to_string(options.controller_cells) +
+                    ";resv=" + std::to_string(options.ignore_reservations) +
+                    ";pipe=" + std::to_string(options.allow_pipelining);
+  const auto append_refs = [&key](const char* label,
+                                  const std::vector<CorePortRef>& refs) {
+    key += std::string(";") + label + "=";
+    for (const CorePortRef& ref : refs) {
+      key += std::to_string(ref.core) + ":" + std::to_string(ref.port.value()) +
+             ",";
+    }
+  };
+  append_refs("fin", options.forced_input_muxes);
+  append_refs("fout", options.forced_output_muxes);
+  return key;
+}
+
 }  // namespace socet::soc

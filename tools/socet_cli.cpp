@@ -2,8 +2,12 @@
 //
 //   socet menus    [--system barcode|system2]
 //   socet plan     [--system ...] [--selection 1,2,3] [--pipelined]
-//   socet optimize [--system ...] (--area-budget N | --tat-budget N)
+//   socet optimize [--system ...] (--area-budget N | --tat-budget N |
+//                  --w1 X --w2 Y)
 //   socet explore  [--system ...]            # design-space CSV (Figure 10)
+//   socet parallel [--system ...] [--selection 1,2,3]  # session schedule
+//   socet batch    --jobs FILE [--threads N] # planning service (one job/line)
+//   socet sweep    [--system ...] [--threads N]  # parallel explore
 //   socet program  [--system ...]            # assembled test program
 //   socet verilog  --core CPU [--gates]      # Verilog to stdout
 //   socet dot      (--core CPU | --ccg) [--system ...]   # Graphviz
@@ -12,6 +16,8 @@
 // Core names: CPU, PREPROCESSOR, DISPLAY, GRAPHICS, GCD, X25.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <string>
 
@@ -19,6 +25,7 @@
 #include "socet/emit/dot.hpp"
 #include "socet/emit/verilog.hpp"
 #include "socet/opt/optimize.hpp"
+#include "socet/service/service.hpp"
 #include "socet/soc/parallel.hpp"
 #include "socet/soc/testprogram.hpp"
 #include "socet/soc/validate.hpp"
@@ -81,17 +88,17 @@ std::vector<unsigned> parse_selection(const Args& args,
   std::vector<unsigned> selection(system.soc->cores().size(), 0);
   const std::string spec = args.get("selection", "");
   if (spec.empty()) return selection;
-  std::size_t pos = 0;
-  for (std::size_t c = 0; c < selection.size(); ++c) {
-    const auto comma = spec.find(',', pos);
-    const std::string token = spec.substr(pos, comma - pos);
-    util::require(!token.empty(), "bad --selection (want e.g. 1,2,3)");
-    selection[c] = static_cast<unsigned>(std::stoul(token)) - 1;
+  // Strict 1-based parse (rejects 0, empty, and trailing tokens).
+  const auto tokens = service::parse_selection_spec(spec);
+  util::require(tokens.size() <= selection.size(),
+                "--selection has " + std::to_string(tokens.size()) +
+                    " entries but the system has " +
+                    std::to_string(selection.size()) + " cores");
+  for (std::size_t c = 0; c < tokens.size(); ++c) {
+    selection[c] = tokens[c];
     util::require(selection[c] < system.soc->core(static_cast<std::uint32_t>(c))
                                      .version_count(),
                   "selection out of range for core " + std::to_string(c + 1));
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
   }
   return selection;
 }
@@ -183,18 +190,58 @@ int cmd_optimize(const Args& args) {
 int cmd_explore(const Args& args) {
   auto system = load_system(args);
   auto points = opt::enumerate_design_space(*system.soc);
-  std::printf("selection,area_cells,tat_cycles,pareto\n");
-  auto front = opt::pareto_front(points);
-  for (const auto& point : points) {
-    bool pareto = false;
-    for (const auto& f : front) pareto |= f.selection == point.selection;
-    std::string sel;
-    for (unsigned v : point.selection) {
-      sel += (sel.empty() ? "" : "/") + std::to_string(v + 1);
-    }
-    std::printf("%s,%u,%llu,%d\n", sel.c_str(), point.overhead_cells,
-                point.tat, pareto ? 1 : 0);
+  std::printf("%s", opt::design_space_csv(std::move(points)).c_str());
+  return 0;
+}
+
+unsigned long parse_option_count(const Args& args, const std::string& key,
+                                 unsigned long fallback) {
+  if (!args.has(key)) return fallback;
+  const std::string text = args.get(key, "");
+  try {
+    std::size_t consumed = 0;
+    const unsigned long value = std::stoul(text, &consumed);
+    util::require(consumed == text.size(), "");
+    return value;
+  } catch (const std::exception&) {
+    util::raise("bad --" + key + " '" + text + "' (want a number)");
   }
+}
+
+service::ServiceOptions service_options(const Args& args) {
+  service::ServiceOptions options;
+  options.threads =
+      static_cast<unsigned>(parse_option_count(args, "threads", 1));
+  util::require(options.threads >= 1, "--threads must be at least 1");
+  options.cache_capacity =
+      parse_option_count(args, "cache", options.cache_capacity);
+  return options;
+}
+
+int cmd_batch(const Args& args) {
+  const std::string path = args.get("jobs", "");
+  util::require(!path.empty(), "batch needs --jobs FILE (or --jobs -)");
+  std::vector<std::string> lines;
+  std::string line;
+  if (path == "-") {
+    while (std::getline(std::cin, line)) lines.push_back(line);
+  } else {
+    std::ifstream file(path);
+    util::require(file.good(), "cannot open jobs file '" + path + "'");
+    while (std::getline(file, line)) lines.push_back(line);
+  }
+  service::PlanningService service(service_options(args));
+  const auto report = service.run_lines(lines);
+  std::printf("%s", report.records_text().c_str());
+  std::fprintf(stderr, "%s", report.summary_table().c_str());
+  return report.errors == 0 ? 0 : 1;
+}
+
+int cmd_sweep(const Args& args) {
+  service::PlanningService service(service_options(args));
+  const std::string csv =
+      service::sweep_csv(args.get("system", "barcode"), service);
+  std::printf("%s", csv.c_str());
   return 0;
 }
 
@@ -273,6 +320,9 @@ int usage() {
       "            --w1 X --w2 Y (weighted objective iii)\n"
       "  parallel  [--system ...] [--selection 1,2,3]\n"
       "  explore   [--system ...]\n"
+      "  batch     --jobs FILE|- [--threads N] [--cache N]\n"
+      "            (planning service; one job per line, see docs/FORMATS.md)\n"
+      "  sweep     [--system ...] [--threads N] (parallel explore)\n"
       "  program   [--system ...] [--selection 1,2,3]\n"
       "  verilog   --core NAME [--gates]\n"
       "  dot       --core NAME | --ccg [--system ...]\n"
@@ -280,23 +330,35 @@ int usage() {
   return 2;
 }
 
+using Command = int (*)(const Args&);
+
+const std::map<std::string, Command>& commands() {
+  static const std::map<std::string, Command> table = {
+      {"menus", cmd_menus},       {"plan", cmd_plan},
+      {"optimize", cmd_optimize}, {"explore", cmd_explore},
+      {"batch", cmd_batch},       {"sweep", cmd_sweep},
+      {"program", cmd_program},   {"parallel", cmd_parallel},
+      {"verilog", cmd_verilog},   {"dot", cmd_dot},
+      {"interface", cmd_interface}};
+  return table;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Validate the command before touching any option so a typo like
+  // `socet pln` fails loudly instead of falling through.
+  if (argc < 2) return usage();
+  const auto command = commands().find(argv[1]);
+  if (command == commands().end()) {
+    std::fprintf(stderr, "error: unknown command '%s'\n", argv[1]);
+    return usage();
+  }
   const Args args = parse_args(argc, argv);
   try {
-    if (args.command == "menus") return cmd_menus(args);
-    if (args.command == "plan") return cmd_plan(args);
-    if (args.command == "optimize") return cmd_optimize(args);
-    if (args.command == "explore") return cmd_explore(args);
-    if (args.command == "program") return cmd_program(args);
-    if (args.command == "parallel") return cmd_parallel(args);
-    if (args.command == "verilog") return cmd_verilog(args);
-    if (args.command == "dot") return cmd_dot(args);
-    if (args.command == "interface") return cmd_interface(args);
+    return command->second(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return usage();
 }
