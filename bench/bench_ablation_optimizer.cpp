@@ -11,6 +11,7 @@
 #include "common.hpp"
 
 int main() {
+  socet::bench::BenchReport bench_report("ablation_optimizer");
   using namespace socet;
   bench::print_header("optimizer ranking ablation", "Section 5.2 mechanism");
 
@@ -50,5 +51,5 @@ int main() {
   std::printf("shape check (greedy within 2x of exhaustive optimum at "
               "every budget): %s\n",
               ok ? "PASS" : "FAIL");
-  return ok ? 0 : 1;
+  return bench_report.finish(ok);
 }

@@ -13,6 +13,7 @@
 #include "common.hpp"
 
 int main() {
+  socet::bench::BenchReport bench_report("ablation_pipelining");
   using namespace socet;
   bench::print_header("pipelined-transparency extension",
                       "Section 3 assumption relaxed");
@@ -43,5 +44,5 @@ int main() {
   std::printf("%s\n", table.to_text().c_str());
   std::printf("shape check (pipelining never slower, never costs area): %s\n",
               ok ? "PASS" : "FAIL");
-  return ok ? 0 : 1;
+  return bench_report.finish(ok);
 }

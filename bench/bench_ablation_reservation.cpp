@@ -11,6 +11,7 @@
 #include "common.hpp"
 
 int main() {
+  socet::bench::BenchReport bench_report("ablation_reservation");
   using namespace socet;
   bench::print_header("reservation-aware routing ablation",
                       "Section 5.1 mechanism");
@@ -45,5 +46,5 @@ int main() {
   bool ok = any_difference;
   std::printf("shape check (naive underestimates somewhere): %s\n",
               ok ? "PASS" : "FAIL");
-  return ok ? 0 : 1;
+  return bench_report.finish(ok);
 }

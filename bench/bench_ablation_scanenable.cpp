@@ -15,6 +15,7 @@
 #include "common.hpp"
 
 int main() {
+  socet::bench::BenchReport bench_report("ablation_scanenable");
   using namespace socet;
   bench::print_header("scan-access ablation", "Table 3 mechanism");
 
@@ -40,5 +41,5 @@ int main() {
   std::printf("shape check (unreachable chains stay low; one test pin "
               "unlocks >20 points of coverage): %s\n",
               ok ? "PASS" : "FAIL");
-  return ok ? 0 : 1;
+  return bench_report.finish(ok);
 }

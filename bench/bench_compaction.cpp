@@ -8,6 +8,7 @@
 #include "common.hpp"
 
 int main() {
+  socet::bench::BenchReport bench_report("compaction");
   using namespace socet;
   bench::print_header("test-set compaction extension", "TAT accounting");
 
@@ -53,5 +54,5 @@ int main() {
   std::printf("\nshape check (smaller sets, identical coverage, lower TAT): "
               "%s\n",
               ok ? "PASS" : "FAIL");
-  return ok ? 0 : 1;
+  return bench_report.finish(ok);
 }

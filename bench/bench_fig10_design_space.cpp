@@ -9,6 +9,7 @@
 #include "common.hpp"
 
 int main() {
+  socet::bench::BenchReport bench_report("fig10_design_space");
   using namespace socet;
   bench::print_header("System 1 design-space exploration", "Figure 10");
 
@@ -75,5 +76,5 @@ int main() {
   std::printf("\nshape check (27 points, >2x TAT spread, exploration >= "
               "all-fast): %s\n",
               ok ? "PASS" : "FAIL");
-  return ok ? 0 : 1;
+  return bench_report.finish(ok);
 }

@@ -13,6 +13,7 @@
 #include "common.hpp"
 
 int main() {
+  socet::bench::BenchReport bench_report("fig6_cpu_versions");
   using namespace socet;
   bench::print_header("CPU version menu", "Figure 6");
 
@@ -56,5 +57,5 @@ int main() {
   }
   std::printf("shape check (area rises, per-pair latency falls to 1): %s\n",
               ok ? "PASS" : "FAIL");
-  return ok ? 0 : 1;
+  return bench_report.finish(ok);
 }

@@ -24,6 +24,7 @@ unsigned best_latency_from(const transparency::CoreVersion& version,
 }  // namespace
 
 int main() {
+  socet::bench::BenchReport bench_report("fig8_core_versions");
   bench::print_header("PREPROCESSOR and DISPLAY version menus", "Figure 8");
 
   core::Core pre = core::Core::prepare(systems::make_preprocessor_rtl());
@@ -80,5 +81,5 @@ int main() {
   }
   std::printf("shape check (menus match Figure 8's pattern): %s\n",
               ok ? "PASS" : "FAIL");
-  return ok ? 0 : 1;
+  return bench_report.finish(ok);
 }

@@ -11,6 +11,7 @@
 #include "socet/systems/synthetic.hpp"
 
 int main() {
+  socet::bench::BenchReport bench_report("parallel_schedule");
   using namespace socet;
   bench::print_header("parallel test scheduling extension",
                       "post-1998 test-scheduling literature");
@@ -56,5 +57,5 @@ int main() {
   std::printf("shape check (pipelines fully serial; star SOCs >1.8x "
               "speedup): %s\n",
               ok ? "PASS" : "FAIL");
-  return ok ? 0 : 1;
+  return bench_report.finish(ok);
 }

@@ -15,6 +15,7 @@
 #include "common.hpp"
 
 int main() {
+  socet::bench::BenchReport bench_report("related_dft");
   using namespace socet;
   bench::print_header("chip-level DFT landscape", "Section 1 related work");
 
@@ -54,5 +55,5 @@ int main() {
   }
   std::printf("shape check (rings < BSCAN; SOCET cheapest and fast): %s\n",
               ok ? "PASS" : "FAIL");
-  return ok ? 0 : 1;
+  return bench_report.finish(ok);
 }

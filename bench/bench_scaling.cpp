@@ -7,6 +7,8 @@
 //   * the full System 1 flow end to end.
 #include <benchmark/benchmark.h>
 
+#include "report.hpp"
+
 #include "socet/core/core.hpp"
 #include "socet/opt/optimize.hpp"
 #include "socet/soc/schedule.hpp"
@@ -91,4 +93,15 @@ BENCHMARK(BM_System1MinimizeTat);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the binary emits the same
+// machine-readable BENCH_*.json line as every other bench.
+int main(int argc, char** argv) {
+  socet::bench::BenchReport bench_report("scaling");
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return bench_report.finish(false);
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return bench_report.finish(true);
+}

@@ -17,6 +17,7 @@
 #include "common.hpp"
 
 int main() {
+  socet::bench::BenchReport bench_report("seq_atpg");
   using namespace socet;
   bench::print_header("sequential ATPG substrate", "Table 3 'Orig.' rows");
 
@@ -65,5 +66,5 @@ int main() {
   std::printf("shape check (sequential ATPG >= random; scan ATPG at least "
               "as good and >5x faster — Section 1's argument): %s\n",
               ok ? "PASS" : "FAIL");
-  return ok ? 0 : 1;
+  return bench_report.finish(ok);
 }

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "report.hpp"
 #include "socet/service/service.hpp"
 #include "socet/util/table.hpp"
 
@@ -84,6 +85,7 @@ double best_of(unsigned runs, const std::vector<std::string>& lines,
 }  // namespace
 
 int main() {
+  socet::bench::BenchReport bench_report("service_throughput");
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::printf("service throughput, 64 unique jobs, cache off, best of 3 "
               "(host: %u hardware thread%s)\n",
@@ -141,5 +143,8 @@ int main() {
   }
 
   std::printf(ok ? "PASS\n" : "");
-  return ok ? 0 : 1;
+  bench_report.metric("baseline_ms", baseline_ms);
+  bench_report.metric("speedup4", speedup4);
+  bench_report.metric("hit_rate", report.cache.hit_rate());
+  return bench_report.finish(ok);
 }

@@ -15,6 +15,7 @@
 #include "common.hpp"
 
 int main() {
+  socet::bench::BenchReport bench_report("table1_design_points");
   using namespace socet;
   bench::print_header("System 1 design points", "Table 1");
 
@@ -68,5 +69,5 @@ int main() {
   std::printf("shape check (explored within 1%% of all-fast, >2x reduction, "
               "FC>90, TE>95): %s\n",
               ok ? "PASS" : "FAIL");
-  return ok ? 0 : 1;
+  return bench_report.finish(ok);
 }

@@ -59,6 +59,7 @@ Row measure(systems::System& system) {
 }  // namespace
 
 int main() {
+  socet::bench::BenchReport bench_report("table2_area");
   bench::print_header("area overheads", "Table 2");
 
   auto system1 = systems::make_barcode_system();
@@ -100,5 +101,5 @@ int main() {
   }
   std::printf("shape check (HSCAN<FSCAN, SOCET chip<BSCAN, totals win): %s\n",
               ok ? "PASS" : "FAIL");
-  return ok ? 0 : 1;
+  return bench_report.finish(ok);
 }

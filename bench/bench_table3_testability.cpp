@@ -79,6 +79,7 @@ void run_system(systems::System& system) {
 }  // namespace
 
 int main() {
+  socet::bench::BenchReport bench_report("table3_testability");
   bench::print_header("testability results", "Table 3");
 
   auto system1 = systems::make_barcode_system();
@@ -92,5 +93,5 @@ int main() {
       "FSCAN-BSCAN 98.4/99.8 @36,152 | SOCET @17,387 / @3,806\n"
       "  System 2: Orig 11.2/11.3 | HSCAN 13.8/13.8 | "
       "FSCAN-BSCAN 98.2/99.9 @46,394 | SOCET @16,435 / @3,998\n");
-  return 0;
+  return bench_report.finish(true);
 }

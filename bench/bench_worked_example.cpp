@@ -31,6 +31,7 @@ unsigned long long display_tat(const systems::System& system,
 }  // namespace
 
 int main() {
+  socet::bench::BenchReport bench_report("worked_example");
   bench::print_header("testing the embedded DISPLAY (worked example)",
                       "Section 3 / Figure 2");
 
@@ -84,5 +85,5 @@ int main() {
   std::printf("shape check (upgrading the critical core slashes TAT; "
               "SOCET always beats FSCAN-BSCAN): %s\n",
               ok ? "PASS" : "FAIL");
-  return ok ? 0 : 1;
+  return bench_report.finish(ok);
 }

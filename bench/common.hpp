@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "report.hpp"
 #include "socet/atpg/atpg.hpp"
 #include "socet/baselines/baselines.hpp"
 #include "socet/opt/optimize.hpp"

@@ -1,0 +1,46 @@
+// The machine-readable bench result line.
+//
+// Every bench binary times itself on the shared obs monotonic clock
+// (obs::StopWatch — the same clock spans and service timings use) and
+// emits exactly one line on stderr before exiting:
+//
+//   BENCH_<name>.json {"name":"<name>","ok":true,"wall_ms":12.3,...}
+//
+// JSON after the first space, so harnesses can `grep '^BENCH_'` and
+// parse without touching the human-readable tables on stdout.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "socet/obs/report.hpp"
+#include "socet/obs/timer.hpp"
+
+namespace socet::bench {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// Attach an extra numeric field to the JSON line.
+  void metric(const std::string& key, double value) {
+    extra_ += ",\"" + obs::json_escape(key) + "\":" + obs::json_number(value);
+  }
+
+  /// Print the line and map `ok` onto the process exit code.
+  int finish(bool ok) const {
+    std::fprintf(stderr,
+                 "BENCH_%s.json {\"name\":\"%s\",\"ok\":%s,\"wall_ms\":%s%s}\n",
+                 name_.c_str(), name_.c_str(), ok ? "true" : "false",
+                 obs::json_number(watch_.elapsed_ms()).c_str(),
+                 extra_.c_str());
+    return ok ? 0 : 1;
+  }
+
+ private:
+  std::string name_;
+  std::string extra_;
+  obs::StopWatch watch_;
+};
+
+}  // namespace socet::bench

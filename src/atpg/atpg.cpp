@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "socet/obs/metrics.hpp"
+#include "socet/obs/trace.hpp"
+
 namespace socet::atpg {
 
 namespace {
@@ -22,6 +25,7 @@ ScanPattern random_pattern(const gate::GateNetlist& netlist, util::Rng& rng) {
 
 AtpgResult generate_tests(const gate::GateNetlist& netlist,
                           const AtpgOptions& options) {
+  SOCET_SPAN("atpg/generate_tests");
   AtpgResult result;
   result.faults = faultsim::enumerate_faults(netlist);
   result.statuses.assign(result.faults.size(), FaultStatus::kUndetected);
@@ -40,6 +44,7 @@ AtpgResult generate_tests(const gate::GateNetlist& netlist,
     sim.run(result.faults, batch, result.statuses);
     auto after = faultsim::summarize(result.statuses).detected;
     if (after > before) {
+      SOCET_COUNT_N("atpg/random_patterns_kept", batch.size());
       result.patterns.insert(result.patterns.end(), batch.begin(),
                              batch.end());
     }
@@ -59,6 +64,8 @@ AtpgResult generate_tests(const gate::GateNetlist& netlist,
         continue;
       }
       PodemResult pr = podem(netlist, result.faults[fi], podem_options);
+      SOCET_COUNT("atpg/podem_calls");
+      SOCET_COUNT_N("atpg/backtracks", pr.backtracks);
       switch (pr.outcome) {
         case PodemResult::Outcome::kUntestable:
           result.statuses[fi] = FaultStatus::kUntestable;
@@ -103,6 +110,11 @@ AtpgResult generate_tests(const gate::GateNetlist& netlist,
       }
     }
   }
+  std::size_t aborted_final = 0;
+  for (const FaultStatus status : result.statuses) {
+    if (status == FaultStatus::kAborted) ++aborted_final;
+  }
+  SOCET_COUNT_N("atpg/aborted_faults", aborted_final);
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "socet/gate/sim.hpp"
+#include "socet/obs/metrics.hpp"
 
 namespace socet::faultsim {
 
@@ -137,11 +138,13 @@ void ScanFaultSim::run(const std::vector<Fault>& faults,
   std::sort(observe.begin(), observe.end());
   observe.erase(std::unique(observe.begin(), observe.end()), observe.end());
 
+  std::size_t dropped = 0;
   for (std::size_t first = 0; first < patterns.size(); first += 64) {
     const std::size_t count = std::min<std::size_t>(64, patterns.size() - first);
     const std::uint64_t mask =
         count == 64 ? ~0ULL : ((1ULL << count) - 1);
     load_block(patterns, first, count);
+    SOCET_COUNT("faultsim/pattern_blocks");
 
     for (std::size_t fi = 0; fi < faults.size(); ++fi) {
       if (statuses[fi] != FaultStatus::kUndetected) continue;
@@ -163,11 +166,13 @@ void ScanFaultSim::run(const std::vector<Fault>& faults,
       for (GateId obs : observe) {
         if (((lookup(obs) ^ good_[obs.index()]) & mask) != 0) {
           statuses[fi] = FaultStatus::kDetected;
+          ++dropped;
           break;
         }
       }
     }
   }
+  SOCET_COUNT_N("faultsim/faults_dropped", dropped);
 }
 
 util::BitVector ScanFaultSim::good_response(const ScanPattern& pattern) {

@@ -1,0 +1,91 @@
+// Scoped wall-time spans with Chrome trace-event export.
+//
+//   void plan(...) {
+//     SOCET_SPAN("soc/plan_chip_test");
+//     ...
+//   }
+//
+// A Span is an RAII guard: when tracing is enabled it records one
+// (name, thread, start, end) event into a per-thread buffer on
+// destruction; when disabled its constructor is a single relaxed atomic
+// load.  Buffers register themselves with a global sink on first use
+// and hand their events back when the thread exits, so worker-pool
+// threads that die before export still appear in the trace — each
+// thread gets its own lane (`tid`) in chrome://tracing / Perfetto.
+//
+// Export (`chrome_trace_json`) must only run when no instrumented
+// thread is concurrently recording — in practice: after worker pools
+// have joined, which is how the CLI uses it.
+//
+// Span names are `<stage>/<what>` string literals; the leading stage
+// segment is what the run report aggregates by (see report.hpp and
+// docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "socet/obs/timer.hpp"
+
+namespace socet::obs {
+
+/// Global tracing switch (independent of the metrics switch).
+bool trace_enabled();
+void set_trace_enabled(bool enabled);
+
+/// One closed span.  `name` must be a string with static storage
+/// duration (SOCET_SPAN passes literals).
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint32_t tid = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+namespace detail {
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t end_ns);
+}  // namespace detail
+
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (trace_enabled()) {
+      name_ = name;
+      start_ns_ = now_ns();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) detail::record_span(name_, start_ns_, now_ns());
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Label this thread's lane in the exported trace (e.g. "worker-2").
+void name_this_thread(const std::string& name);
+
+/// Copy of every recorded event (live buffers + exited threads),
+/// sorted by start time.  See the export caveat above.
+std::vector<TraceEvent> collect_trace_events();
+
+/// Full Chrome trace-event JSON document: matched B/E pairs per span,
+/// one `tid` lane per recording thread, thread-name metadata events,
+/// timestamps in microseconds relative to the first span.
+std::string chrome_trace_json();
+
+/// Drop all recorded events and thread names (tests).
+void reset_trace();
+
+}  // namespace socet::obs
+
+#define SOCET_OBS_CONCAT2(a, b) a##b
+#define SOCET_OBS_CONCAT(a, b) SOCET_OBS_CONCAT2(a, b)
+/// Open a span covering the rest of the enclosing scope.
+#define SOCET_SPAN(name) \
+  ::socet::obs::Span SOCET_OBS_CONCAT(socet_obs_span_, __LINE__)(name)

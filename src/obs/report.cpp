@@ -1,0 +1,115 @@
+#include "socet/obs/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "socet/obs/metrics.hpp"
+#include "socet/obs/trace.hpp"
+
+namespace socet::obs {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "0";
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+namespace {
+
+struct SpanRollup {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = ~0ull;
+  std::uint64_t max_ns = 0;
+};
+
+std::string us(std::uint64_t ns) {
+  return json_number(static_cast<double>(ns) / 1e3);
+}
+
+}  // namespace
+
+std::string run_report_json(const std::string& command) {
+  // Per-span-name and per-stage (leading path segment) rollups.
+  std::map<std::string, SpanRollup> spans;
+  std::map<std::string, SpanRollup> stages;
+  for (const TraceEvent& event : collect_trace_events()) {
+    const std::uint64_t ns = event.end_ns - event.start_ns;
+    const std::string name = event.name;
+    const std::string stage = name.substr(0, name.find('/'));
+    for (SpanRollup* roll : {&spans[name], &stages[stage]}) {
+      ++roll->count;
+      roll->total_ns += ns;
+      roll->min_ns = std::min(roll->min_ns, ns);
+      roll->max_ns = std::max(roll->max_ns, ns);
+    }
+  }
+
+  std::string out = "{\"schema\":\"socet-report-v1\",\"command\":\"" +
+                    json_escape(command) + "\",\"metrics\":" +
+                    Registry::instance().json() + ",\"spans\":{";
+  bool first = true;
+  for (const auto& [name, roll] : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + json_escape(name) + "\":{\"count\":" +
+           std::to_string(roll.count) + ",\"total_us\":" + us(roll.total_ns) +
+           ",\"mean_us\":" +
+           json_number(static_cast<double>(roll.total_ns) /
+                       static_cast<double>(roll.count) / 1e3) +
+           ",\"min_us\":" + us(roll.min_ns) +
+           ",\"max_us\":" + us(roll.max_ns) + "}";
+  }
+  out += "},\"stages\":{";
+  first = true;
+  for (const auto& [stage, roll] : stages) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + json_escape(stage) + "\":{\"spans\":" +
+           std::to_string(roll.count) +
+           ",\"total_us\":" + us(roll.total_ns) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace socet::obs

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "socet/obs/metrics.hpp"
+#include "socet/obs/trace.hpp"
+
 namespace socet::opt {
 
 namespace {
@@ -48,10 +51,12 @@ long long latency_improvement(const Soc& soc, const ChipTestPlan& plan,
 
 DesignPoint minimize_tat(const Soc& soc, unsigned area_budget_cells,
                          const OptimizeOptions& options) {
+  SOCET_SPAN("opt/minimize_tat");
   std::vector<unsigned> selection(soc.cores().size(), 0);
   DesignPoint best = evaluate(soc, selection, options);
 
   while (true) {
+    SOCET_COUNT("opt/iterations");
     // Candidate moves: upgrade one core to its next version.  The
     // heuristic pass ranks by the paper's edge-usage latency numbers; if
     // no candidate shows a heuristic gain (an upgrade whose benefit is a
@@ -65,6 +70,7 @@ DesignPoint minimize_tat(const Soc& soc, unsigned area_budget_cells,
       for (std::uint32_t c = 0; c < soc.cores().size(); ++c) {
         const unsigned next = best.selection[c] + 1;
         if (next >= soc.core(c).version_count()) continue;
+        SOCET_COUNT("opt/moves_proposed");
 
         long long gain;
         DesignPoint candidate;
@@ -95,6 +101,10 @@ DesignPoint minimize_tat(const Soc& soc, unsigned area_budget_cells,
     if (best_core < 0) break;
     // Only accept moves that actually help the exact objective.
     if (best_candidate.tat >= best.tat) break;
+    SOCET_COUNT("opt/moves_accepted");
+    SOCET_HISTOGRAM("opt/accept_delta_tat", best.tat - best_candidate.tat);
+    SOCET_HISTOGRAM("opt/accept_delta_area",
+                    best_candidate.overhead_cells - best.overhead_cells);
     best = std::move(best_candidate);
   }
   best.met_constraint = best.overhead_cells <= area_budget_cells;
@@ -103,10 +113,12 @@ DesignPoint minimize_tat(const Soc& soc, unsigned area_budget_cells,
 
 DesignPoint minimize_area(const Soc& soc, unsigned long long tat_budget,
                           const OptimizeOptions& options) {
+  SOCET_SPAN("opt/minimize_area");
   std::vector<unsigned> selection(soc.cores().size(), 0);
   DesignPoint best = evaluate(soc, selection, options);
 
   while (best.tat > tat_budget) {
+    SOCET_COUNT("opt/iterations");
     // Cheapest upgrade with a non-zero latency improvement (w1=0, w2=1).
     // As in minimize_tat, an exact pass rescues the walk when the
     // edge-usage heuristic sees no gain anywhere.
@@ -118,6 +130,7 @@ DesignPoint minimize_area(const Soc& soc, unsigned long long tat_budget,
       for (std::uint32_t c = 0; c < soc.cores().size(); ++c) {
         const unsigned next = best.selection[c] + 1;
         if (next >= soc.core(c).version_count()) continue;
+        SOCET_COUNT("opt/moves_proposed");
         if (exact_pass == 0) {
           const long long gain = latency_improvement(
               soc, best.plan, c, best.selection[c], next);
@@ -138,6 +151,10 @@ DesignPoint minimize_area(const Soc& soc, unsigned long long tat_budget,
       }
     }
     if (!found) break;
+    SOCET_COUNT("opt/moves_accepted");
+    SOCET_HISTOGRAM("opt/accept_delta_tat", best.tat - best_candidate.tat);
+    SOCET_HISTOGRAM("opt/accept_delta_area",
+                    best_candidate.overhead_cells - best.overhead_cells);
     best = std::move(best_candidate);
   }
   best.met_constraint = best.tat <= tat_budget;
@@ -146,18 +163,21 @@ DesignPoint minimize_area(const Soc& soc, unsigned long long tat_budget,
 
 DesignPoint minimize_weighted(const Soc& soc, double w1, double w2,
                               const OptimizeOptions& options) {
+  SOCET_SPAN("opt/minimize_weighted");
   util::require(w1 >= 0 && w2 >= 0 && (w1 > 0 || w2 > 0),
                 "minimize_weighted: weights must be non-negative, not both 0");
   std::vector<unsigned> selection(soc.cores().size(), 0);
   DesignPoint best = evaluate(soc, selection, options);
 
   while (true) {
+    SOCET_COUNT("opt/iterations");
     double best_gain = 0.0;
     DesignPoint best_candidate;
     bool found = false;
     for (std::uint32_t c = 0; c < soc.cores().size(); ++c) {
       const unsigned next = best.selection[c] + 1;
       if (next >= soc.core(c).version_count()) continue;
+      SOCET_COUNT("opt/moves_proposed");
       auto trial = best.selection;
       trial[c] = next;
       DesignPoint candidate = evaluate(soc, std::move(trial), options);
@@ -173,6 +193,12 @@ DesignPoint minimize_weighted(const Soc& soc, double w1, double w2,
       }
     }
     if (!found) break;
+    SOCET_COUNT("opt/moves_accepted");
+    if (best_candidate.tat <= best.tat) {
+      SOCET_HISTOGRAM("opt/accept_delta_tat", best.tat - best_candidate.tat);
+    }
+    SOCET_HISTOGRAM("opt/accept_delta_area",
+                    best_candidate.overhead_cells - best.overhead_cells);
     best = std::move(best_candidate);
   }
   return best;
@@ -200,6 +226,7 @@ std::vector<std::vector<unsigned>> enumerate_selections(const Soc& soc) {
 
 std::vector<DesignPoint> enumerate_design_space(const Soc& soc,
                                                 const OptimizeOptions& options) {
+  SOCET_SPAN("opt/enumerate_design_space");
   std::vector<DesignPoint> points;
   for (auto& selection : enumerate_selections(soc)) {
     points.push_back(evaluate(soc, std::move(selection), options));

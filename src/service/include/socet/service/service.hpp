@@ -54,7 +54,8 @@ struct BatchReport {
   double wall_ms = 0;  ///< whole batch, enqueue to join
 
   /// Service counters rendered with util::Table: jobs, errors, cache
-  /// hits/misses, mean queue/wall time per job, batch wall clock.
+  /// hits/misses, mean/p50/p95/max queue and wall time per job (the
+  /// percentiles come from obs::Histogram), batch wall clock.
   [[nodiscard]] std::string summary_table() const;
   /// All result records, one per line — exactly what `socet batch`
   /// prints to stdout.

@@ -7,6 +7,8 @@
 #include <map>
 #include <thread>
 
+#include "socet/obs/metrics.hpp"
+#include "socet/obs/trace.hpp"
 #include "socet/opt/optimize.hpp"
 #include "socet/service/queue.hpp"
 #include "socet/soc/parallel.hpp"
@@ -246,6 +248,7 @@ BatchReport PlanningService::run(const std::vector<Job>& jobs) {
 }
 
 BatchReport PlanningService::run_lines(const std::vector<std::string>& lines) {
+  SOCET_SPAN("service/batch");
   std::vector<Submitted> batch;
   for (const std::string& line : lines) {
     const auto first = line.find_first_not_of(" \t\r");
@@ -273,10 +276,12 @@ BatchReport PlanningService::run_lines(const std::vector<std::string>& lines) {
     queue.push({i, batch_start});
   }
   queue.close();
+  SOCET_GAUGE_MAX("service/queue_depth", queue.size());
 
   const auto worker = [&] {
     SystemTable systems;
     while (auto item = queue.pop()) {
+      SOCET_SPAN("service/job");
       const std::size_t i = item->index;
       const auto start = Clock::now();
       JobResult& result = report.results[i];
@@ -317,7 +322,12 @@ BatchReport PlanningService::run_lines(const std::vector<std::string>& lines) {
   } else {
     std::vector<std::thread> pool;
     pool.reserve(workers);
-    for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (unsigned t = 0; t < workers; ++t) {
+      pool.emplace_back([&worker, t] {
+        obs::name_this_thread("worker-" + std::to_string(t + 1));
+        worker();
+      });
+    }
     for (auto& thread : pool) thread.join();
   }
 
@@ -326,7 +336,13 @@ BatchReport PlanningService::run_lines(const std::vector<std::string>& lines) {
   report.cache = stats_delta(before, cache_.stats());
   for (const JobResult& result : report.results) {
     if (!result.ok) ++report.errors;
+    if (result.cache_hit) SOCET_COUNT("service/cache_hits");
+    SOCET_HISTOGRAM("service/queue_us", result.queue_us);
+    SOCET_HISTOGRAM("service/wall_us", result.wall_us);
   }
+  SOCET_COUNT_N("service/jobs", report.results.size());
+  SOCET_COUNT_N("service/errors", report.errors);
+  SOCET_COUNT_N("service/cache_misses", report.cache.misses);
   return report;
 }
 
@@ -339,9 +355,13 @@ std::string BatchReport::records_text() const {
 std::string BatchReport::summary_table() const {
   double queue_us = 0;
   double wall_us = 0;
+  obs::Histogram queue_hist;
+  obs::Histogram wall_hist;
   for (const JobResult& result : results) {
     queue_us += result.queue_us;
     wall_us += result.wall_us;
+    queue_hist.record(static_cast<std::uint64_t>(result.queue_us));
+    wall_hist.record(static_cast<std::uint64_t>(result.wall_us));
   }
   const double jobs = results.empty() ? 1.0 : static_cast<double>(results.size());
   util::Table table({"counter", "value"});
@@ -351,7 +371,13 @@ std::string BatchReport::summary_table() const {
   table.add_row({"cache misses", std::to_string(cache.misses)});
   table.add_row({"cache hit-rate", util::Table::num(cache.hit_rate() * 100.0) + "%"});
   table.add_row({"mean queue time", util::Table::num(queue_us / jobs) + " us"});
+  table.add_row({"p50 queue time", util::Table::num(queue_hist.quantile(0.5)) + " us"});
+  table.add_row({"p95 queue time", util::Table::num(queue_hist.quantile(0.95)) + " us"});
+  table.add_row({"max queue time", std::to_string(queue_hist.max()) + " us"});
   table.add_row({"mean job wall time", util::Table::num(wall_us / jobs) + " us"});
+  table.add_row({"p50 job wall time", util::Table::num(wall_hist.quantile(0.5)) + " us"});
+  table.add_row({"p95 job wall time", util::Table::num(wall_hist.quantile(0.95)) + " us"});
+  table.add_row({"max job wall time", std::to_string(wall_hist.max()) + " us"});
   table.add_row({"batch wall time", util::Table::num(wall_ms, 2) + " ms"});
   return table.to_text();
 }

@@ -2,9 +2,13 @@
 
 #include <map>
 
+#include "socet/obs/metrics.hpp"
+#include "socet/obs/trace.hpp"
+
 namespace socet::soc {
 
 Ccg::Ccg(const Soc& soc, const std::vector<unsigned>& selection) {
+  SOCET_SPAN("ccg/build");
   util::require(selection.size() == soc.cores().size(),
                 "Ccg: selection size must match core count");
 
@@ -69,6 +73,8 @@ Ccg::Ccg(const Soc& soc, const std::vector<unsigned>& selection) {
   for (std::uint32_t e = 0; e < edges_.size(); ++e) {
     adjacency_[edges_[e].src].push_back(e);
   }
+  SOCET_GAUGE_MAX("ccg/nodes", nodes_.size());
+  SOCET_GAUGE_MAX("ccg/edges", edges_.size());
 }
 
 std::uint32_t Ccg::pi_node(PiId pi) const {

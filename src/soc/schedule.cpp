@@ -7,6 +7,9 @@
 #include <map>
 #include <set>
 
+#include "socet/obs/metrics.hpp"
+#include "socet/obs/trace.hpp"
+
 namespace socet::soc {
 
 namespace {
@@ -33,6 +36,7 @@ void dijkstra(const Ccg& ccg, const std::vector<std::uint32_t>& sources,
               const Reservations& reservations, unsigned earliest,
               std::int32_t banned_core, std::vector<unsigned>& arrival,
               std::vector<std::int32_t>& pred_edge) {
+  SOCET_COUNT("ccg/dijkstra_runs");
   arrival.assign(ccg.nodes().size(), kInf);
   pred_edge.assign(ccg.nodes().size(), -1);
   std::priority_queue<Label, std::vector<Label>, std::greater<>> heap;
@@ -51,9 +55,11 @@ void dijkstra(const Ccg& ccg, const std::vector<std::uint32_t>& sources,
       if (banned_core >= 0 && edge.core == banned_core) continue;
       // The value departs once the shared resource is free, then takes
       // `latency` cycles to cross.
+      SOCET_COUNT("ccg/relaxations");
       const unsigned depart =
           reservations.earliest_free(edge.resource, top.arrival,
                                      duration_of(edge));
+      if (depart != top.arrival) SOCET_COUNT("ccg/reservation_conflicts");
       const unsigned reach = depart + edge.latency;
       if (reach < arrival[edge.dst]) {
         arrival[edge.dst] = reach;
@@ -67,6 +73,7 @@ void dijkstra(const Ccg& ccg, const std::vector<std::uint32_t>& sources,
 Route extract_route(const Ccg& ccg, const std::vector<unsigned>& arrival,
                     const std::vector<std::int32_t>& pred_edge,
                     std::uint32_t target, Reservations& reservations) {
+  SOCET_COUNT("ccg/routes_found");
   Route route;
   route.arrival = arrival[target];
   std::uint32_t node = target;
@@ -147,6 +154,8 @@ std::optional<Route> route_to_pos(const Ccg& ccg, std::uint32_t source,
 ChipTestPlan plan_chip_test(const Soc& soc,
                             const std::vector<unsigned>& selection,
                             const PlanOptions& options) {
+  SOCET_SPAN("soc/plan_chip_test");
+  SOCET_COUNT("soc/plans");
   soc.validate();
   Ccg ccg(soc, selection);
   ChipTestPlan plan;
@@ -165,6 +174,7 @@ ChipTestPlan plan_chip_test(const Soc& soc,
     util::require(cut.scan_vectors() > 0,
                   "plan_chip_test: core '" + cut.name() +
                       "' has no test set (set_scan_vectors first)");
+    SOCET_SPAN("ccg/plan_core");
     CoreTestPlan core_plan;
     core_plan.core = c;
     Reservations reservations(ccg.resource_count());
@@ -187,6 +197,7 @@ ChipTestPlan plan_chip_test(const Soc& soc,
         }
       }
       if (!route) {
+        SOCET_COUNT("ccg/mux_fallbacks");
         Route mux_route;
         mux_route.via_system_mux = true;
         mux_route.arrival = 1;  // PI -> test mux -> core input, one cycle
@@ -218,6 +229,7 @@ ChipTestPlan plan_chip_test(const Soc& soc,
         }
       }
       if (!route) {
+        SOCET_COUNT("ccg/mux_fallbacks");
         Route mux_route;
         mux_route.via_system_mux = true;
         mux_route.arrival = 0;  // core output -> test mux -> PO

@@ -4,6 +4,8 @@
 #include <limits>
 #include <map>
 
+#include "socet/obs/metrics.hpp"
+
 namespace socet::transparency {
 
 namespace {
@@ -82,9 +84,11 @@ class AndOrSearch {
     }
     // Values only decrease; at most n rounds to convergence.
     for (std::size_t round = 0; round < n + 1; ++round) {
+      SOCET_COUNT("transparency/relax_rounds");
       bool changed = false;
       for (std::uint32_t i = 0; i < n; ++i) {
         if (adapter_.terminal(rcg_, i)) continue;
+        SOCET_COUNT("transparency/nodes_evaluated");
         const unsigned v = evaluate(i);
         if (v < value_[i]) {
           value_[i] = v;
@@ -205,8 +209,11 @@ SearchResult find_propagation(const Rcg& rcg, std::uint32_t input_node,
   util::require(
       rcg.node(input_node).ref.kind == rtl::NodeKind::kInputPort,
       "find_propagation: start node is not an input port");
+  SOCET_COUNT("transparency/propagation_searches");
   AndOrSearch search(rcg, allowed, excluded_edges, PropagationAdapter{});
-  return search.run(input_node);
+  auto result = search.run(input_node);
+  if (result.found) SOCET_HISTOGRAM("transparency/latency_found", result.latency);
+  return result;
 }
 
 SearchResult find_justification(const Rcg& rcg, std::uint32_t output_node,
@@ -215,8 +222,11 @@ SearchResult find_justification(const Rcg& rcg, std::uint32_t output_node,
   util::require(
       rcg.node(output_node).ref.kind == rtl::NodeKind::kOutputPort,
       "find_justification: start node is not an output port");
+  SOCET_COUNT("transparency/justification_searches");
   AndOrSearch search(rcg, allowed, excluded_edges, JustificationAdapter{});
-  return search.run(output_node);
+  auto result = search.run(output_node);
+  if (result.found) SOCET_HISTOGRAM("transparency/latency_found", result.latency);
+  return result;
 }
 
 }  // namespace socet::transparency

@@ -4,6 +4,9 @@
 #include <map>
 #include <numeric>
 
+#include "socet/obs/metrics.hpp"
+#include "socet/obs/trace.hpp"
+
 namespace socet::transparency {
 
 namespace {
@@ -65,6 +68,8 @@ unsigned CoreVersion::total_latency_from(PortId input) const {
 
 CoreVersion make_version(const Rcg& rcg, const VersionPolicy& policy,
                          const TransparencyCostModel& cost) {
+  SOCET_SPAN("transparency/make_version");
+  SOCET_COUNT("transparency/versions_built");
   CoreVersion version;
   version.name = policy.name;
 
@@ -123,6 +128,7 @@ CoreVersion make_version(const Rcg& rcg, const VersionPolicy& policy,
           break;
         }
       }
+      SOCET_COUNT("transparency/mux_insertions");
       FoundPath fp;
       fp.result.found = true;
       fp.result.latency = 1;
@@ -168,6 +174,7 @@ CoreVersion make_version(const Rcg& rcg, const VersionPolicy& policy,
           break;
         }
       }
+      SOCET_COUNT("transparency/mux_insertions");
       FoundPath fp;
       fp.result.found = true;
       fp.result.latency = 1;

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <set>
 #include <thread>
 
@@ -357,6 +358,68 @@ TEST(Cli, BatchRoundTrip) {
   const CliRun failing = run_cli("batch --jobs " + path + " --threads 2");
   EXPECT_EQ(failing.exit_code, 1);  // batch exit code reflects job errors
   EXPECT_NE(failing.output.find("job 4 error"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ObservabilityKeepsStdoutByteIdentical) {
+  const std::string path = testing::TempDir() + "socet_obs_jobs.txt";
+  {
+    std::ofstream file(path);
+    file << "plan system=barcode selection=1,2,1\n"
+         << "optimize system=barcode area-budget=40\n"
+         << "plan system=barcode selection=2,2,2\n"
+         << "plan system=barcode selection=1,2,1\n"
+         << "parallel system=barcode\n";
+  }
+  const CliRun plain = run_cli("batch --jobs " + path + " --threads 1");
+  EXPECT_EQ(plain.exit_code, 0);
+  // Tracing + metrics never touch stdout, at any thread count.
+  for (const char* threads : {"1", "8"}) {
+    const std::string trace =
+        testing::TempDir() + "socet_obs_trace_t" + threads + ".json";
+    const CliRun traced =
+        run_cli("batch --jobs " + path + " --threads " + threads +
+                " --trace " + trace + " --metrics");
+    EXPECT_EQ(traced.exit_code, 0) << threads << " threads";
+    EXPECT_EQ(traced.output, plain.output) << threads << " threads";
+    std::ifstream file(trace);
+    ASSERT_TRUE(file.good()) << trace;
+    std::string json((std::istreambuf_iterator<char>(file)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"service/job\""), std::string::npos);
+    std::remove(trace.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ReportFileCarriesMetricsAndSpans) {
+  const std::string report = testing::TempDir() + "socet_obs_report.json";
+  const CliRun run = run_cli("plan --system barcode --report " + report);
+  EXPECT_EQ(run.exit_code, 0);
+  std::ifstream file(report);
+  ASSERT_TRUE(file.good());
+  std::string json((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"schema\":\"socet-report-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"command\":\"plan\""), std::string::npos);
+  EXPECT_NE(json.find("\"ccg/dijkstra_runs\""), std::string::npos);
+  EXPECT_NE(json.find("\"soc/plan_chip_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  std::remove(report.c_str());
+}
+
+TEST(Cli, VerboseBatchStdoutStaysStable) {
+  const std::string path = testing::TempDir() + "socet_obs_verbose.txt";
+  {
+    std::ofstream file(path);
+    file << "plan system=barcode\n";
+  }
+  // --verbose adds per-job timing on stderr only; stdout is unchanged.
+  const CliRun plain = run_cli("batch --jobs " + path);
+  const CliRun verbose = run_cli("batch --jobs " + path + " --verbose");
+  EXPECT_EQ(verbose.exit_code, 0);
+  EXPECT_EQ(verbose.output, plain.output);
   std::remove(path.c_str());
 }
 

@@ -24,6 +24,9 @@
 #include "socet/core/serialize.hpp"
 #include "socet/emit/dot.hpp"
 #include "socet/emit/verilog.hpp"
+#include "socet/obs/metrics.hpp"
+#include "socet/obs/report.hpp"
+#include "socet/obs/trace.hpp"
 #include "socet/opt/optimize.hpp"
 #include "socet/service/service.hpp"
 #include "socet/soc/parallel.hpp"
@@ -234,6 +237,13 @@ int cmd_batch(const Args& args) {
   const auto report = service.run_lines(lines);
   std::printf("%s", report.records_text().c_str());
   std::fprintf(stderr, "%s", report.summary_table().c_str());
+  if (args.has("verbose")) {
+    for (const auto& result : report.results) {
+      std::fprintf(stderr, "job %zu queue_us=%.1f wall_us=%.1f%s\n",
+                   result.index + 1, result.queue_us, result.wall_us,
+                   result.cache_hit ? " cache_hit" : "");
+    }
+  }
   return report.errors == 0 ? 0 : 1;
 }
 
@@ -320,13 +330,18 @@ int usage() {
       "            --w1 X --w2 Y (weighted objective iii)\n"
       "  parallel  [--system ...] [--selection 1,2,3]\n"
       "  explore   [--system ...]\n"
-      "  batch     --jobs FILE|- [--threads N] [--cache N]\n"
+      "  batch     --jobs FILE|- [--threads N] [--cache N] [--verbose]\n"
       "            (planning service; one job per line, see docs/FORMATS.md)\n"
       "  sweep     [--system ...] [--threads N] (parallel explore)\n"
       "  program   [--system ...] [--selection 1,2,3]\n"
       "  verilog   --core NAME [--gates]\n"
       "  dot       --core NAME | --ccg [--system ...]\n"
-      "  interface --core NAME\n");
+      "  interface --core NAME\n"
+      "observability (any command; stdout is never touched):\n"
+      "  --metrics       print the metrics table to stderr on exit\n"
+      "  --trace FILE    write a Chrome trace-event JSON (chrome://tracing)\n"
+      "  --report FILE   write a run-report JSON (metrics + span rollups)\n"
+      "  (metric and span names: docs/OBSERVABILITY.md)\n");
   return 2;
 }
 
@@ -355,10 +370,51 @@ int main(int argc, char** argv) {
     return usage();
   }
   const Args args = parse_args(argc, argv);
+
+  // Observability switches.  A run report embeds both the metrics
+  // snapshot and the span rollups, so --report implies both collectors.
+  const std::string trace_path = args.get("trace", "");
+  const std::string report_path = args.get("report", "");
+  if (args.has("metrics") || !report_path.empty()) {
+    obs::set_metrics_enabled(true);
+  }
+  if (!trace_path.empty() || !report_path.empty()) {
+    obs::set_trace_enabled(true);
+  }
+
+  int status = 1;
   try {
-    return command->second(args);
+    // The span name must outlive export; the command key is a static.
+    static const std::string span_name = "cli/" + command->first;
+    obs::Span span(span_name.c_str());
+    status = command->second(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    status = 1;
   }
+
+  // Diagnostics go to stderr / side files only, after all worker pools
+  // have joined, so stdout stays byte-identical to uninstrumented runs.
+  if (args.has("metrics")) {
+    std::fprintf(stderr, "%s",
+                 obs::Registry::instance().table_text().c_str());
+  }
+  const auto write_file = [&status](const std::string& path,
+                                    const std::string& text,
+                                    const char* what) {
+    std::ofstream out(path);
+    out << text;
+    if (!out.good()) {
+      std::fprintf(stderr, "error: cannot write %s '%s'\n", what,
+                   path.c_str());
+      status = status == 0 ? 1 : status;
+    }
+  };
+  if (!trace_path.empty()) {
+    write_file(trace_path, obs::chrome_trace_json(), "trace");
+  }
+  if (!report_path.empty()) {
+    write_file(report_path, obs::run_report_json(command->first), "report");
+  }
+  return status;
 }
