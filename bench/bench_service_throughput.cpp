@@ -125,6 +125,9 @@ int main() {
     std::printf("note: speedup gate skipped (host has %u hardware "
                 "thread%s; >= 4 needed for a meaningful 4-thread gate)\n",
                 hw, hw == 1 ? "" : "s");
+    // Mark the whole run as non-comparable so the regression gate
+    // (tools/socet_bench) does not record a bogus trajectory point.
+    bench_report.skip("host has < 4 hardware threads");
   }
 
   std::printf("\nrepeated workload, 8 unique jobs x 8 copies, cache on, "

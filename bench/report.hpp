@@ -27,11 +27,24 @@ class BenchReport {
     extra_ += ",\"" + obs::json_escape(key) + "\":" + obs::json_number(value);
   }
 
+  /// Mark this run as skipped: a gate that could not be evaluated on
+  /// this host (too few CPUs, missing kernel feature, ...).  The line
+  /// then carries `"skipped":true` so the regression gate
+  /// (tools/socet_bench) records the point as non-comparable instead
+  /// of a bogus pass in the trajectory.
+  void skip(const std::string& reason) {
+    skipped_ = true;
+    if (!reason.empty()) {
+      extra_ += ",\"skip_reason\":\"" + obs::json_escape(reason) + "\"";
+    }
+  }
+
   /// Print the line and map `ok` onto the process exit code.
   int finish(bool ok) const {
     std::fprintf(stderr,
-                 "BENCH_%s.json {\"name\":\"%s\",\"ok\":%s,\"wall_ms\":%s%s}\n",
+                 "BENCH_%s.json {\"name\":\"%s\",\"ok\":%s%s,\"wall_ms\":%s%s}\n",
                  name_.c_str(), name_.c_str(), ok ? "true" : "false",
+                 skipped_ ? ",\"skipped\":true" : "",
                  obs::json_number(watch_.elapsed_ms()).c_str(),
                  extra_.c_str());
     return ok ? 0 : 1;
@@ -40,6 +53,7 @@ class BenchReport {
  private:
   std::string name_;
   std::string extra_;
+  bool skipped_ = false;
   obs::StopWatch watch_;
 };
 

@@ -4,6 +4,7 @@
 
 #include "socet/gate/sim.hpp"
 #include "socet/obs/metrics.hpp"
+#include "socet/obs/resource.hpp"
 
 namespace socet::faultsim {
 
@@ -129,6 +130,7 @@ void ScanFaultSim::run(const std::vector<Fault>& faults,
                        std::vector<FaultStatus>& statuses) {
   util::require(statuses.size() == faults.size(),
                 "ScanFaultSim::run: status vector size mismatch");
+  SOCET_RESOURCE_SCOPE("faultsim/scan_run");
 
   // Observation points: POs plus every DFF's D fanin (PPOs).
   std::vector<GateId> observe = netlist_.outputs();

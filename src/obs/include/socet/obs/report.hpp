@@ -23,7 +23,8 @@ std::string json_number(double value);
 ///   {"schema": "socet-report-v1", "command": ...,
 ///    "metrics": {"counters": ..., "gauges": ..., "histograms": ...},
 ///    "spans": {<name>: {count, total_us, mean_us, min_us, max_us}},
-///    "stages": {<prefix>: {spans, total_us}}}
+///    "stages": {<prefix>: {spans, total_us}},
+///    "resources": {"run": ..., "stages": ...}}   (obs/resource.hpp)
 /// Stage = everything before the first '/' of a span name.
 std::string run_report_json(const std::string& command);
 

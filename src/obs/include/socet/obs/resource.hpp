@@ -1,0 +1,105 @@
+// Per-stage and whole-run resource accounting.
+//
+// Answers "what did this run cost" beyond wall time: peak RSS,
+// minor/major page faults, and user/system CPU time from `getrusage`,
+// plus optional hardware counters (cycles, instructions, cache misses)
+// via `perf_event_open` — opened once per run with `inherit` set so
+// worker threads spawned later are counted too, and degrading
+// gracefully to "unavailable" when the kernel or container says
+// EPERM/ENOSYS/EACCES.
+//
+// Stage accounting mirrors the span convention: a `ResourceScope`
+// (macro `SOCET_RESOURCE_SCOPE`) measures the calling thread's rusage
+// delta across a block and folds it into a process-wide table keyed by
+// the same `<stage>/<what>` names spans use.  Like every other obs
+// collector it is off by default (one relaxed load per site) and only
+// renders to side files: the run report embeds the whole thing as an
+// additive `resources` block (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace socet::obs {
+
+/// Global switch for stage scopes.  Turning it on the first time also
+/// starts the whole-run hardware counters (if the kernel allows).
+bool resources_enabled();
+void set_resources_enabled(bool enabled);
+
+/// CPU time and paging deltas (microseconds / counts).
+struct RusageDelta {
+  std::int64_t utime_us = 0;
+  std::int64_t stime_us = 0;
+  std::int64_t minor_faults = 0;
+  std::int64_t major_faults = 0;
+};
+
+/// Whole-run absolutes (since process start).
+struct RunResources {
+  std::int64_t peak_rss_kb = 0;
+  RusageDelta usage;
+  bool hw_available = false;
+  std::uint64_t hw_cycles = 0;
+  std::uint64_t hw_instructions = 0;
+  std::uint64_t hw_cache_misses = 0;
+};
+
+/// RUSAGE_SELF snapshot plus the run hardware counters (zeros and
+/// `hw_available == false` when perf events could not be opened).
+RunResources run_resources();
+
+/// Calling thread's cumulative rusage (RUSAGE_THREAD on Linux,
+/// RUSAGE_SELF elsewhere) — monotone per thread, used for scope deltas.
+RusageDelta thread_usage();
+
+/// Accumulated cost of one named scope across all its executions.
+struct StageUsage {
+  std::string name;
+  std::uint64_t count = 0;
+  RusageDelta usage;
+};
+
+/// Snapshot of the per-stage table, sorted by name.
+std::vector<StageUsage> stage_resources();
+
+/// The report's `resources` block:
+///   {"run": {peak_rss_kb, utime_us, stime_us, minor_faults,
+///            major_faults, "hw": {available, cycles, instructions,
+///            cache_misses}},
+///    "stages": {<name>: {count, utime_us, stime_us, minor_faults,
+///               major_faults}}}
+std::string resources_json();
+
+/// Clear the stage table (tests).
+void reset_resources();
+
+/// RAII rusage delta for one block on the calling thread.  `name` must
+/// have static storage duration (the macro passes literals).
+class ResourceScope {
+ public:
+  explicit ResourceScope(const char* name) {
+    if (resources_enabled()) {
+      name_ = name;
+      start_ = thread_usage();
+    }
+  }
+  ~ResourceScope();
+  ResourceScope(const ResourceScope&) = delete;
+  ResourceScope& operator=(const ResourceScope&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  RusageDelta start_{};
+};
+
+}  // namespace socet::obs
+
+#define SOCET_OBS_RES_CONCAT2(a, b) a##b
+#define SOCET_OBS_RES_CONCAT(a, b) SOCET_OBS_RES_CONCAT2(a, b)
+/// Account the rest of the enclosing scope to `name` in the resources
+/// table (one relaxed load when accounting is off).
+#define SOCET_RESOURCE_SCOPE(name)            \
+  ::socet::obs::ResourceScope SOCET_OBS_RES_CONCAT(socet_obs_res_, \
+                                                   __LINE__)(name)

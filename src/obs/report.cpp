@@ -5,6 +5,7 @@
 #include <map>
 
 #include "socet/obs/metrics.hpp"
+#include "socet/obs/resource.hpp"
 #include "socet/obs/trace.hpp"
 
 namespace socet::obs {
@@ -44,7 +45,11 @@ std::string json_escape(std::string_view text) {
 }
 
 std::string json_number(double value) {
-  if (!std::isfinite(value)) return "0";
+  // Emit non-finite values as null — a NaN metric rendered as "0" would
+  // let a broken computation masquerade as a perfect one.  Readers
+  // (obs::json_parse / the bench gate) treat null as "not a number",
+  // never as zero.
+  if (!std::isfinite(value)) return "null";
   if (value == std::floor(value) && std::fabs(value) < 1e15) {
     return std::to_string(static_cast<long long>(value));
   }
@@ -108,7 +113,8 @@ std::string run_report_json(const std::string& command) {
            std::to_string(roll.count) +
            ",\"total_us\":" + us(roll.total_ns) + "}";
   }
-  out += "}}";
+  // Additive since v1: rusage/hw-counter accounting (obs/resource.hpp).
+  out += "},\"resources\":" + resources_json() + "}";
   return out;
 }
 

@@ -1,0 +1,232 @@
+#include "socet/obs/resource.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "socet/obs/report.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#elif defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace socet::obs {
+
+namespace {
+
+std::atomic<bool> g_resources_enabled{false};
+
+std::int64_t timeval_us(const timeval& tv) {
+  return static_cast<std::int64_t>(tv.tv_sec) * 1000000 +
+         static_cast<std::int64_t>(tv.tv_usec);
+}
+
+// ------------------------------------------------- hardware counters
+
+#if defined(__linux__)
+
+/// One perf fd per event, each with `inherit` so threads created after
+/// the open are counted.  (Grouped reads and inherit don't mix, hence
+/// three independent fds.)
+class HwCounters {
+ public:
+  void open() {
+    if (opened_) return;
+    opened_ = true;
+    fd_cycles_ = open_one(PERF_COUNT_HW_CPU_CYCLES);
+    fd_instructions_ = open_one(PERF_COUNT_HW_INSTRUCTIONS);
+    fd_cache_misses_ = open_one(PERF_COUNT_HW_CACHE_MISSES);
+    // All-or-nothing: a partial set would invite bogus ratios.
+    if (fd_cycles_ < 0 || fd_instructions_ < 0 || fd_cache_misses_ < 0) {
+      close_all();
+    }
+  }
+
+  [[nodiscard]] bool available() const { return fd_cycles_ >= 0; }
+
+  void read_into(RunResources* out) const {
+    out->hw_available = available();
+    if (!available()) return;
+    out->hw_cycles = read_one(fd_cycles_);
+    out->hw_instructions = read_one(fd_instructions_);
+    out->hw_cache_misses = read_one(fd_cache_misses_);
+  }
+
+ private:
+  static int open_one(std::uint64_t config) {
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof(attr);
+    attr.config = config;
+    attr.disabled = 0;
+    attr.inherit = 1;
+    attr.exclude_kernel = 1;  // works without perf_event_paranoid <= 1
+    attr.exclude_hv = 1;
+    // EPERM/EACCES (paranoid sysctl, seccomp) and ENOSYS (kernel built
+    // without perf) all land here; the caller treats < 0 as "no hw".
+    return static_cast<int>(::syscall(__NR_perf_event_open, &attr, 0, -1,
+                                      -1, 0));
+  }
+
+  static std::uint64_t read_one(int fd) {
+    std::uint64_t value = 0;
+    if (::read(fd, &value, sizeof(value)) != sizeof(value)) return 0;
+    return value;
+  }
+
+  void close_all() {
+    for (int* fd : {&fd_cycles_, &fd_instructions_, &fd_cache_misses_}) {
+      if (*fd >= 0) ::close(*fd);
+      *fd = -1;
+    }
+  }
+
+  bool opened_ = false;
+  int fd_cycles_ = -1;
+  int fd_instructions_ = -1;
+  int fd_cache_misses_ = -1;
+};
+
+HwCounters& hw_counters() {
+  static HwCounters counters;
+  return counters;
+}
+
+#endif  // __linux__
+
+// ---------------------------------------------------- stage table
+
+struct StageTally {
+  std::uint64_t count = 0;
+  RusageDelta usage;
+};
+
+struct StageTable {
+  std::mutex mutex;
+  std::map<std::string, StageTally> stages;
+};
+
+StageTable& stage_table() {
+  static StageTable table;
+  return table;
+}
+
+}  // namespace
+
+bool resources_enabled() {
+  return g_resources_enabled.load(std::memory_order_relaxed);
+}
+
+void set_resources_enabled(bool enabled) {
+#if defined(__linux__)
+  if (enabled) hw_counters().open();
+#endif
+  g_resources_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+RusageDelta thread_usage() {
+  RusageDelta delta;
+#if defined(__linux__) || defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+#if defined(RUSAGE_THREAD)
+  ::getrusage(RUSAGE_THREAD, &usage);
+#else
+  ::getrusage(RUSAGE_SELF, &usage);
+#endif
+  delta.utime_us = timeval_us(usage.ru_utime);
+  delta.stime_us = timeval_us(usage.ru_stime);
+  delta.minor_faults = usage.ru_minflt;
+  delta.major_faults = usage.ru_majflt;
+#endif
+  return delta;
+}
+
+RunResources run_resources() {
+  RunResources run;
+#if defined(__linux__) || defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  ::getrusage(RUSAGE_SELF, &usage);
+  // ru_maxrss is kilobytes on Linux, bytes on macOS.
+#if defined(__APPLE__)
+  run.peak_rss_kb = usage.ru_maxrss / 1024;
+#else
+  run.peak_rss_kb = usage.ru_maxrss;
+#endif
+  run.usage.utime_us = timeval_us(usage.ru_utime);
+  run.usage.stime_us = timeval_us(usage.ru_stime);
+  run.usage.minor_faults = usage.ru_minflt;
+  run.usage.major_faults = usage.ru_majflt;
+#endif
+#if defined(__linux__)
+  hw_counters().read_into(&run);
+#endif
+  return run;
+}
+
+ResourceScope::~ResourceScope() {
+  if (name_ == nullptr) return;
+  const RusageDelta end = thread_usage();
+  StageTable& table = stage_table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  StageTally& tally = table.stages[name_];
+  ++tally.count;
+  tally.usage.utime_us += end.utime_us - start_.utime_us;
+  tally.usage.stime_us += end.stime_us - start_.stime_us;
+  tally.usage.minor_faults += end.minor_faults - start_.minor_faults;
+  tally.usage.major_faults += end.major_faults - start_.major_faults;
+}
+
+std::vector<StageUsage> stage_resources() {
+  StageTable& table = stage_table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  std::vector<StageUsage> out;
+  out.reserve(table.stages.size());
+  for (const auto& [name, tally] : table.stages) {
+    out.push_back({name, tally.count, tally.usage});
+  }
+  return out;
+}
+
+std::string resources_json() {
+  const RunResources run = run_resources();
+  std::string out =
+      "{\"run\":{\"peak_rss_kb\":" + std::to_string(run.peak_rss_kb) +
+      ",\"utime_us\":" + std::to_string(run.usage.utime_us) +
+      ",\"stime_us\":" + std::to_string(run.usage.stime_us) +
+      ",\"minor_faults\":" + std::to_string(run.usage.minor_faults) +
+      ",\"major_faults\":" + std::to_string(run.usage.major_faults) +
+      ",\"hw\":{\"available\":" + (run.hw_available ? "true" : "false") +
+      ",\"cycles\":" + std::to_string(run.hw_cycles) +
+      ",\"instructions\":" + std::to_string(run.hw_instructions) +
+      ",\"cache_misses\":" + std::to_string(run.hw_cache_misses) +
+      "}},\"stages\":{";
+  bool first = true;
+  for (const StageUsage& stage : stage_resources()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + json_escape(stage.name) +
+           "\":{\"count\":" + std::to_string(stage.count) +
+           ",\"utime_us\":" + std::to_string(stage.usage.utime_us) +
+           ",\"stime_us\":" + std::to_string(stage.usage.stime_us) +
+           ",\"minor_faults\":" + std::to_string(stage.usage.minor_faults) +
+           ",\"major_faults\":" + std::to_string(stage.usage.major_faults) +
+           "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void reset_resources() {
+  StageTable& table = stage_table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  table.stages.clear();
+}
+
+}  // namespace socet::obs

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "socet/obs/metrics.hpp"
+#include "socet/obs/resource.hpp"
 #include "socet/obs/trace.hpp"
 #include "socet/opt/optimize.hpp"
 #include "socet/service/queue.hpp"
@@ -282,6 +283,7 @@ BatchReport PlanningService::run_lines(const std::vector<std::string>& lines) {
     SystemTable systems;
     while (auto item = queue.pop()) {
       SOCET_SPAN("service/job");
+      SOCET_RESOURCE_SCOPE("service/job");
       const std::size_t i = item->index;
       const auto start = Clock::now();
       JobResult& result = report.results[i];

@@ -1,16 +1,54 @@
 // Observability subsystem: histogram bucket/quantile edge cases,
 // counters under concurrent increments, trace export shape (matched B/E
-// pairs, named worker lanes), and the run-report JSON.
+// pairs, named worker lanes), the run-report JSON with its resources
+// block, the sampling profiler, and rusage accounting.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "socet/obs/jsonin.hpp"
 #include "socet/obs/metrics.hpp"
 #include "socet/obs/report.hpp"
+#include "socet/obs/resource.hpp"
+#include "socet/obs/sampler.hpp"
 #include "socet/obs/timer.hpp"
 #include "socet/obs/trace.hpp"
+
+#if defined(__linux__)
+#include <signal.h>
+#include <sys/time.h>
+#endif
+
+// Busy-loop leaf for the profiler smoke test: extern "C", noinline, and
+// globally visible so `dladdr` can attribute samples to it by name
+// (the obs library links with -rdynamic on Linux for exactly this).
+// Callers go through the volatile pointer below — a direct call lets
+// the optimizer emit local `.constprop` clones whose addresses are not
+// in the dynamic symbol table, so samples would land in the clone and
+// symbolize as `test_obs+0x...` instead of the function name.
+std::atomic<unsigned long> socet_obs_test_spin_beat{0};
+
+extern "C" __attribute__((noinline)) double socet_obs_test_busy_spin(
+    unsigned long iters) {
+  volatile double acc = 0;
+  for (unsigned long i = 0; i < iters; ++i) {
+    acc = acc + static_cast<double>(i & 1023u) * 1.0000001;
+    // TSan defers async signals to the next atomic op or interceptor;
+    // beating an atomic inside the loop makes SIGPROF fire while this
+    // frame is on the stack, so attribution still works under TSan.
+    if ((i & 255u) == 0) {
+      socet_obs_test_spin_beat.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return acc;
+}
+
+double (*volatile socet_obs_test_busy_spin_ptr)(unsigned long) =
+    socet_obs_test_busy_spin;
 
 namespace socet {
 namespace {
@@ -61,8 +99,10 @@ class ObsTest : public ::testing::Test {
   void SetUp() override {
     obs::Registry::instance().reset();
     obs::reset_trace();
+    obs::reset_resources();
     obs::set_metrics_enabled(false);
     obs::set_trace_enabled(false);
+    obs::set_resources_enabled(false);
   }
   void TearDown() override { SetUp(); }
 };
@@ -185,8 +225,28 @@ TEST_F(ObsTest, SnapshotAndRenderersListEveryMetric) {
   SOCET_COUNT_N("obs_test/a_counter", 3);
   SOCET_GAUGE_SET("obs_test/a_gauge", -5);
   SOCET_HISTOGRAM("obs_test/a_histogram", 16);
+  // Registered names survive Registry::reset() (the mutation macros
+  // cache references into the registry), so when the whole binary runs
+  // in one process — as the TSan CI job does — earlier tests' metrics
+  // are still listed here with zeroed values.  Assert membership, not
+  // an exact size.
   const auto snap = obs::Registry::instance().snapshot();
-  EXPECT_EQ(snap.size(), 3u);
+  EXPECT_GE(snap.size(), 3u);
+  bool saw_counter = false;
+  bool saw_gauge = false;
+  bool saw_histogram = false;
+  for (const auto& c : snap.counters) {
+    saw_counter |= c.name == "obs_test/a_counter" && c.value == 3;
+  }
+  for (const auto& g : snap.gauges) {
+    saw_gauge |= g.name == "obs_test/a_gauge" && g.value == -5;
+  }
+  for (const auto& h : snap.histograms) {
+    saw_histogram |= h.name == "obs_test/a_histogram" && h.count == 1;
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_histogram);
   const std::string table = obs::Registry::instance().table_text();
   EXPECT_NE(table.find("obs_test/a_counter"), std::string::npos);
   EXPECT_NE(table.find("obs_test/a_gauge"), std::string::npos);
@@ -272,6 +332,160 @@ TEST_F(ObsTest, StopWatchIsMonotone) {
   EXPECT_LE(a, b);
   EXPECT_GE(obs::now_ns(), a);
 }
+
+TEST_F(ObsTest, JsonNumberEmitsNullForNonFinite) {
+  // A NaN/Inf metric must read back as "not a number", never as a
+  // perfect zero (the bench-line parser rejects null wall_ms).
+  EXPECT_EQ(obs::json_number(std::nan("")), "null");
+  EXPECT_EQ(obs::json_number(HUGE_VAL), "null");
+  EXPECT_EQ(obs::json_number(-HUGE_VAL), "null");
+  EXPECT_EQ(obs::json_number(12.0), "12");
+  EXPECT_EQ(obs::json_number(12.5), "12.5");
+}
+
+// ---------------------------------------------------------------- resources
+
+TEST_F(ObsTest, ResourceSnapshotsAreMonotone) {
+  const obs::RunResources before = obs::run_resources();
+  (void)socet_obs_test_busy_spin_ptr(2000000);
+  std::vector<char> touch(1 << 20, 1);  // force some paging activity
+  const obs::RunResources after = obs::run_resources();
+
+  EXPECT_GT(after.peak_rss_kb, 0);
+  EXPECT_GE(after.peak_rss_kb, before.peak_rss_kb);
+  EXPECT_GE(after.usage.utime_us + after.usage.stime_us,
+            before.usage.utime_us + before.usage.stime_us);
+  EXPECT_GE(after.usage.minor_faults, before.usage.minor_faults);
+  EXPECT_GE(after.usage.major_faults, before.usage.major_faults);
+  // Hardware counters are optional (containers commonly deny perf),
+  // but when available they must be live.
+  if (after.hw_available) {
+    EXPECT_GT(after.hw_cycles, before.hw_cycles);
+    EXPECT_GT(after.hw_instructions, 0u);
+  }
+  EXPECT_NE(touch[12345], 0);
+}
+
+TEST_F(ObsTest, ResourceScopeAccumulatesPerStage) {
+  obs::set_resources_enabled(true);
+  {
+    SOCET_RESOURCE_SCOPE("obs_test/stage_scope");
+    (void)socet_obs_test_busy_spin_ptr(100000);
+  }
+  { SOCET_RESOURCE_SCOPE("obs_test/stage_scope"); }
+  obs::set_resources_enabled(false);
+
+  bool found = false;
+  for (const obs::StageUsage& stage : obs::stage_resources()) {
+    if (stage.name != "obs_test/stage_scope") continue;
+    found = true;
+    EXPECT_EQ(stage.count, 2u);
+    EXPECT_GE(stage.usage.utime_us, 0);
+    EXPECT_GE(stage.usage.minor_faults, 0);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsTest, DisabledResourceScopeRecordsNothing) {
+  { SOCET_RESOURCE_SCOPE("obs_test/disabled_scope"); }
+  for (const obs::StageUsage& stage : obs::stage_resources()) {
+    EXPECT_NE(stage.name, "obs_test/disabled_scope");
+  }
+}
+
+// Golden schema for the report's `resources` block, read back through
+// the real parser rather than substring checks.
+TEST_F(ObsTest, RunReportEmbedsResourcesBlock) {
+  obs::set_resources_enabled(true);
+  { SOCET_RESOURCE_SCOPE("obs_test/report_stage"); }
+  const std::string report = obs::run_report_json("obs_test");
+  obs::set_resources_enabled(false);
+
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::json_parse(report, &doc, &error)) << error << "\n" << report;
+  const obs::JsonValue* resources = doc.get("resources");
+  ASSERT_NE(resources, nullptr);
+  const obs::JsonValue* run = resources->get("run");
+  ASSERT_NE(run, nullptr);
+  for (const char* key : {"peak_rss_kb", "utime_us", "stime_us",
+                          "minor_faults", "major_faults"}) {
+    const obs::JsonValue* field = run->get(key);
+    ASSERT_NE(field, nullptr) << key;
+    EXPECT_TRUE(field->is_number()) << key;
+  }
+  const obs::JsonValue* hw = run->get("hw");
+  ASSERT_NE(hw, nullptr);
+  ASSERT_NE(hw->get("available"), nullptr);
+  EXPECT_TRUE(hw->get("available")->is_bool());
+  for (const char* key : {"cycles", "instructions", "cache_misses"}) {
+    ASSERT_NE(hw->get(key), nullptr) << key;
+    EXPECT_TRUE(hw->get(key)->is_number()) << key;
+  }
+  const obs::JsonValue* stages = resources->get("stages");
+  ASSERT_NE(stages, nullptr);
+  const obs::JsonValue* stage = stages->get("obs_test/report_stage");
+  ASSERT_NE(stage, nullptr);
+  EXPECT_EQ(stage->get("count")->number_or(0), 1.0);
+}
+
+// ------------------------------------------------------------------ sampler
+
+#if defined(__linux__)
+
+TEST_F(ObsTest, DisabledSamplerInstallsNoHandler) {
+  ASSERT_FALSE(obs::Sampler::running());
+  struct sigaction current {};
+  ASSERT_EQ(sigaction(SIGPROF, nullptr, &current), 0);
+  EXPECT_EQ(current.sa_handler, SIG_DFL);
+  itimerval timer{};
+  ASSERT_EQ(getitimer(ITIMER_PROF, &timer), 0);
+  EXPECT_EQ(timer.it_interval.tv_sec, 0);
+  EXPECT_EQ(timer.it_interval.tv_usec, 0);
+  EXPECT_EQ(timer.it_value.tv_sec, 0);
+  EXPECT_EQ(timer.it_value.tv_usec, 0);
+}
+
+TEST_F(ObsTest, SamplerAttributesBusyLoopSamples) {
+  ASSERT_TRUE(obs::sampler_supported());
+  obs::Sampler::reset();
+  obs::SamplerOptions options;
+  options.interval_us = 500;  // 2 kHz so the smoke test stays short
+  ASSERT_TRUE(obs::Sampler::start(options));
+  EXPECT_TRUE(obs::Sampler::running());
+  EXPECT_FALSE(obs::Sampler::start(options));  // no double-start
+
+  volatile double sink = 0;
+  const obs::StopWatch watch;
+  while (obs::Sampler::sample_count() < 5 && watch.elapsed_ms() < 5000) {
+    sink = sink + socet_obs_test_busy_spin_ptr(200000);
+  }
+  obs::Sampler::stop();
+  EXPECT_FALSE(obs::Sampler::running());
+
+  EXPECT_GE(obs::Sampler::sample_count(), 1u);
+  const std::string folded = obs::Sampler::folded_stacks();
+  EXPECT_NE(folded.find("socet_obs_test_busy_spin"), std::string::npos)
+      << folded;
+  const std::string table = obs::Sampler::top_functions_table();
+  EXPECT_NE(table.find("samples"), std::string::npos);
+  EXPECT_NE(table.find("socet_obs_test_busy_spin"), std::string::npos)
+      << table;
+
+  // stop() restored the default disposition and disarmed the timer.
+  struct sigaction current {};
+  ASSERT_EQ(sigaction(SIGPROF, nullptr, &current), 0);
+  EXPECT_EQ(current.sa_handler, SIG_DFL);
+  itimerval timer{};
+  ASSERT_EQ(getitimer(ITIMER_PROF, &timer), 0);
+  EXPECT_EQ(timer.it_value.tv_sec, 0);
+  EXPECT_EQ(timer.it_value.tv_usec, 0);
+
+  obs::Sampler::reset();
+  EXPECT_EQ(obs::Sampler::sample_count(), 0u);
+}
+
+#endif  // __linux__
 
 }  // namespace
 }  // namespace socet

@@ -26,6 +26,8 @@
 #include "socet/emit/verilog.hpp"
 #include "socet/obs/metrics.hpp"
 #include "socet/obs/report.hpp"
+#include "socet/obs/resource.hpp"
+#include "socet/obs/sampler.hpp"
 #include "socet/obs/trace.hpp"
 #include "socet/opt/optimize.hpp"
 #include "socet/service/service.hpp"
@@ -340,7 +342,10 @@ int usage() {
       "observability (any command; stdout is never touched):\n"
       "  --metrics       print the metrics table to stderr on exit\n"
       "  --trace FILE    write a Chrome trace-event JSON (chrome://tracing)\n"
-      "  --report FILE   write a run-report JSON (metrics + span rollups)\n"
+      "  --report FILE   write a run-report JSON (metrics + span rollups +\n"
+      "                  rusage/hw-counter resource accounting)\n"
+      "  --profile FILE  sample the run with SIGPROF; folded stacks to\n"
+      "                  FILE (flamegraph-ready), top functions to stderr\n"
       "  (metric and span names: docs/OBSERVABILITY.md)\n");
   return 2;
 }
@@ -371,15 +376,23 @@ int main(int argc, char** argv) {
   }
   const Args args = parse_args(argc, argv);
 
-  // Observability switches.  A run report embeds both the metrics
-  // snapshot and the span rollups, so --report implies both collectors.
+  // Observability switches.  A run report embeds the metrics snapshot,
+  // the span rollups, and the resource accounting, so --report implies
+  // all three collectors.
   const std::string trace_path = args.get("trace", "");
   const std::string report_path = args.get("report", "");
+  const std::string profile_path = args.get("profile", "");
   if (args.has("metrics") || !report_path.empty()) {
     obs::set_metrics_enabled(true);
   }
   if (!trace_path.empty() || !report_path.empty()) {
     obs::set_trace_enabled(true);
+  }
+  if (!report_path.empty()) {
+    obs::set_resources_enabled(true);  // also starts run hw counters
+  }
+  if (!profile_path.empty() && !obs::Sampler::start({})) {
+    std::fprintf(stderr, "warning: --profile unavailable on this platform\n");
   }
 
   int status = 1;
@@ -395,6 +408,7 @@ int main(int argc, char** argv) {
 
   // Diagnostics go to stderr / side files only, after all worker pools
   // have joined, so stdout stays byte-identical to uninstrumented runs.
+  if (obs::Sampler::running()) obs::Sampler::stop();
   if (args.has("metrics")) {
     std::fprintf(stderr, "%s",
                  obs::Registry::instance().table_text().c_str());
@@ -415,6 +429,10 @@ int main(int argc, char** argv) {
   }
   if (!report_path.empty()) {
     write_file(report_path, obs::run_report_json(command->first), "report");
+  }
+  if (!profile_path.empty() && obs::sampler_supported()) {
+    write_file(profile_path, obs::Sampler::folded_stacks(), "profile");
+    std::fprintf(stderr, "%s", obs::Sampler::top_functions_table().c_str());
   }
   return status;
 }
