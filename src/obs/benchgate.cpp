@@ -242,8 +242,10 @@ std::vector<CheckOutcome> check_against_baseline(
         // tolerance margin itself so a noisy-but-short bench can at
         // most double its allowance, never hide a 2x slowdown.
         const double margin = it->second * tolerance_pct / 100.0;
-        outcome.limit_ms = it->second + margin +
-                           std::min(record.wall_ms.iqr(), margin);
+        outcome.margin_ms = margin;
+        outcome.iqr_allowance_ms = std::min(record.wall_ms.iqr(), margin);
+        outcome.limit_ms =
+            it->second + outcome.margin_ms + outcome.iqr_allowance_ms;
         outcome.verdict = record.wall_ms.median > outcome.limit_ms
                               ? CheckOutcome::Verdict::kRegression
                               : CheckOutcome::Verdict::kPass;

@@ -95,6 +95,10 @@ struct CheckOutcome {
   double baseline_ms = 0;
   double measured_ms = 0;   ///< median
   double limit_ms = 0;      ///< baseline + margin + min(IQR, margin)
+  // The limit's two ingredients, surfaced so gate output can say *how
+  // much* slack each bench actually got (pct margin vs IQR noise).
+  double margin_ms = 0;         ///< baseline * tolerance_pct / 100
+  double iqr_allowance_ms = 0;  ///< min(IQR(measured), margin)
 };
 
 /// Compare measured medians against the baseline.  With

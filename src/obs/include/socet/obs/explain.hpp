@@ -1,0 +1,61 @@
+// Provenance queries over a recorded decision journal.
+//
+// `socet explain` loads a `socet-journal-v1` JSONL document (written by
+// `--journal FILE`, format in docs/FORMATS.md §5) and answers "why"
+// questions by replaying and filtering its events:
+//
+//   socet explain mux DISPLAY     --journal run.jsonl
+//   socet explain version CPU     --journal run.jsonl
+//   socet explain route CPU       --journal run.jsonl
+//   socet explain reject CPU 3    --journal run.jsonl
+//
+// Each query returns a human-readable report (one headline, the
+// matching events in sequence order, and a short summary); queries
+// never fail on an empty match — they say so, because "no events"
+// is itself the answer (e.g. no mux was ever inserted).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "socet/obs/jsonin.hpp"
+
+namespace socet::obs {
+
+/// A loaded journal: every event line, parsed, in file order.
+struct JournalDoc {
+  std::vector<JsonValue> events;
+};
+
+/// Parse a journal document.  The first non-empty line must carry
+/// `"schema":"socet-journal-v1"`; every following non-empty line must
+/// be a JSON object with a `"type"` member.  On failure returns false
+/// and, when `error` is non-null, a one-line description.
+bool load_journal(std::string_view text, JournalDoc* out,
+                  std::string* error = nullptr);
+
+/// Why were test muxes inserted?  Matches `transparency/mux` (inside a
+/// core version) and `ccg/mux` (system-level fallback) events whose
+/// core, port or pair mentions `target`; empty `target` matches all.
+std::string explain_mux(const JournalDoc& doc, const std::string& target);
+
+/// How was `core`'s transparency version menu built?  Replays
+/// `transparency/path` / `transparency/mux` events: which edge class
+/// (HSCAN vs existing) each terminal settled on, where reuse forced
+/// serialization, where a mux was the only way out.
+std::string explain_version(const JournalDoc& doc, const std::string& core);
+
+/// How was `core`'s test-set routed across the CCG?  Replays
+/// `ccg/route` / `ccg/mux` / `soc/core_planned` events: chosen paths,
+/// per-route reservation shifts, and the resulting period/flush/TAT.
+std::string explain_route(const JournalDoc& doc, const std::string& core);
+
+/// Why did the optimizer not move `core` to `version`?  Matches
+/// `opt/propose` rejections and `opt/reject_final` events; `version`
+/// matches the version name ("Version 3"), its index ("3"), or is
+/// empty to show every rejected move for the core.
+std::string explain_reject(const JournalDoc& doc, const std::string& core,
+                           const std::string& version);
+
+}  // namespace socet::obs

@@ -6,7 +6,9 @@
 // value model (null, bool, number, string, array, object), insertion-
 // ordered objects, UTF-8 passed through verbatim, `\uXXXX` decoded for
 // the escapes our emitter produces.  Not a general-purpose library —
-// no streaming, no 64-bit-exact integers beyond double precision.
+// no streaming, no 64-bit-exact integers beyond double precision, and
+// container nesting is capped (~96 levels) so pathological inputs are
+// rejected instead of overflowing the parser's stack.
 #pragma once
 
 #include <string>

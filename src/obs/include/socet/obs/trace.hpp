@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "socet/obs/journal.hpp"
 #include "socet/obs/timer.hpp"
 
 namespace socet::obs {
@@ -55,9 +56,16 @@ class Span {
       name_ = name;
       start_ns_ = now_ns();
     }
+    // The journal's crash dump reports each thread's active spans, so
+    // spans also maintain a journal-side stack while it is recording.
+    if (journal_enabled()) {
+      journal_pushed_ = true;
+      detail::journal_push_span(name);
+    }
   }
   ~Span() {
     if (name_ != nullptr) detail::record_span(name_, start_ns_, now_ns());
+    if (journal_pushed_) detail::journal_pop_span();
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
@@ -65,6 +73,7 @@ class Span {
  private:
   const char* name_ = nullptr;
   std::uint64_t start_ns_ = 0;
+  bool journal_pushed_ = false;
 };
 
 /// Label this thread's lane in the exported trace (e.g. "worker-2").

@@ -21,12 +21,18 @@ class Parser {
   }
 
  private:
+  // Containers recurse through parse_value; a hostile input of 100k
+  // '[' characters would otherwise turn into 100k stack frames.
+  static constexpr int kMaxDepth = 96;
+
   bool parse_value(JsonValue* out) {
     if (pos_ >= text_.size()) return fail("unexpected end of input");
     switch (text_[pos_]) {
       case '{':
+        if (depth_ >= kMaxDepth) return fail("nesting too deep");
         return parse_object(out);
       case '[':
+        if (depth_ >= kMaxDepth) return fail("nesting too deep");
         return parse_array(out);
       case '"':
         out->kind = JsonValue::Kind::kString;
@@ -49,10 +55,12 @@ class Parser {
 
   bool parse_object(JsonValue* out) {
     out->kind = JsonValue::Kind::kObject;
+    ++depth_;
     ++pos_;  // '{'
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return true;
     }
     while (true) {
@@ -74,6 +82,7 @@ class Parser {
       }
       if (peek() == '}') {
         ++pos_;
+        --depth_;
         return true;
       }
       return fail("expected ',' or '}'");
@@ -82,10 +91,12 @@ class Parser {
 
   bool parse_array(JsonValue* out) {
     out->kind = JsonValue::Kind::kArray;
+    ++depth_;
     ++pos_;  // '['
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return true;
     }
     while (true) {
@@ -100,6 +111,7 @@ class Parser {
       }
       if (peek() == ']') {
         ++pos_;
+        --depth_;
         return true;
       }
       return fail("expected ',' or ']'");
@@ -206,6 +218,7 @@ class Parser {
   std::string_view text_;
   std::string* error_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

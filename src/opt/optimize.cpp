@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "socet/obs/journal.hpp"
 #include "socet/obs/metrics.hpp"
 #include "socet/obs/resource.hpp"
 #include "socet/obs/trace.hpp"
@@ -22,6 +23,15 @@ DesignPoint evaluate(const Soc& soc, std::vector<unsigned> selection,
   point.tat = point.plan.total_tat;
   point.overhead_cells = point.plan.total_overhead_cells();
   return point;
+}
+
+/// "2/1/3" — the 1-based per-core version choice (CLI/CSV convention).
+std::string selection_str(const std::vector<unsigned>& selection) {
+  std::string s;
+  for (unsigned v : selection) {
+    s += (s.empty() ? "" : "/") + std::to_string(v + 1);
+  }
+  return s;
 }
 
 }  // namespace
@@ -74,6 +84,7 @@ DesignPoint minimize_tat(const Soc& soc, unsigned area_budget_cells,
         if (next >= soc.core(c).version_count()) continue;
         SOCET_COUNT("opt/moves_proposed");
 
+        const char* pass_name = exact_pass == 0 ? "heuristic" : "exact";
         long long gain;
         DesignPoint candidate;
         if (exact_pass == 0) {
@@ -86,7 +97,15 @@ DesignPoint minimize_tat(const Soc& soc, unsigned area_budget_cells,
           gain = static_cast<long long>(best.tat) -
                  static_cast<long long>(candidate.tat);
         }
-        if (gain <= best_gain) continue;
+        if (gain <= best_gain) {
+          SOCET_EVENT("opt/propose", {"objective", "min_tat"},
+                      {"pass", pass_name}, {"core", soc.core(c).name()},
+                      {"from", soc.core(c).version(best.selection[c]).name},
+                      {"to", soc.core(c).version(next).name},
+                      {"to_index", next + 1}, {"gain", gain},
+                      {"outcome", "rejected"}, {"reason", "gain_not_better"});
+          continue;
+        }
 
         // Respect the area budget.
         if (exact_pass == 0) {
@@ -94,22 +113,62 @@ DesignPoint minimize_tat(const Soc& soc, unsigned area_budget_cells,
           trial[c] = next;
           candidate = evaluate(soc, std::move(trial), options);
         }
-        if (candidate.overhead_cells > area_budget_cells) continue;
+        const long long delta_area =
+            static_cast<long long>(candidate.overhead_cells) -
+            static_cast<long long>(best.overhead_cells);
+        if (candidate.overhead_cells > area_budget_cells) {
+          SOCET_EVENT("opt/propose", {"objective", "min_tat"},
+                      {"pass", pass_name}, {"core", soc.core(c).name()},
+                      {"from", soc.core(c).version(best.selection[c]).name},
+                      {"to", soc.core(c).version(next).name},
+                      {"to_index", next + 1}, {"gain", gain},
+                      {"delta_area", delta_area}, {"outcome", "rejected"},
+                      {"reason", "over_area_budget"});
+          continue;
+        }
+        SOCET_EVENT("opt/propose", {"objective", "min_tat"},
+                    {"pass", pass_name}, {"core", soc.core(c).name()},
+                    {"from", soc.core(c).version(best.selection[c]).name},
+                    {"to", soc.core(c).version(next).name},
+                    {"to_index", next + 1}, {"gain", gain},
+                    {"delta_area", delta_area}, {"outcome", "best"});
         best_gain = gain;
         best_core = static_cast<std::int32_t>(c);
         best_candidate = std::move(candidate);
       }
     }
     if (best_core < 0) break;
+    const std::uint32_t moved = static_cast<std::uint32_t>(best_core);
     // Only accept moves that actually help the exact objective.
-    if (best_candidate.tat >= best.tat) break;
+    if (best_candidate.tat >= best.tat) {
+      SOCET_EVENT(
+          "opt/reject_final", {"objective", "min_tat"},
+          {"core", soc.core(moved).name()},
+          {"from", soc.core(moved).version(best.selection[moved]).name},
+          {"to", soc.core(moved).version(best.selection[moved] + 1).name},
+          {"to_index", best.selection[moved] + 2},
+          {"reason", "no_exact_tat_gain"});
+      break;
+    }
     SOCET_COUNT("opt/moves_accepted");
     SOCET_HISTOGRAM("opt/accept_delta_tat", best.tat - best_candidate.tat);
     SOCET_HISTOGRAM("opt/accept_delta_area",
                     best_candidate.overhead_cells - best.overhead_cells);
+    SOCET_EVENT(
+        "opt/accept", {"objective", "min_tat"}, {"core", soc.core(moved).name()},
+        {"from", soc.core(moved).version(best.selection[moved]).name},
+        {"to", soc.core(moved).version(best.selection[moved] + 1).name},
+        {"delta_tat", static_cast<long long>(best.tat) -
+                          static_cast<long long>(best_candidate.tat)},
+        {"delta_area", static_cast<long long>(best_candidate.overhead_cells) -
+                           static_cast<long long>(best.overhead_cells)},
+        {"tat", best_candidate.tat}, {"area", best_candidate.overhead_cells});
     best = std::move(best_candidate);
   }
   best.met_constraint = best.overhead_cells <= area_budget_cells;
+  SOCET_EVENT("opt/result", {"objective", "min_tat"},
+              {"selection", selection_str(best.selection)}, {"tat", best.tat},
+              {"area", best.overhead_cells}, {"met", best.met_constraint});
   return best;
 }
 
@@ -127,6 +186,7 @@ DesignPoint minimize_area(const Soc& soc, unsigned long long tat_budget,
     // edge-usage heuristic sees no gain anywhere.
     long long best_cost = std::numeric_limits<long long>::max();
     DesignPoint best_candidate;
+    std::uint32_t moved = 0;
     bool found = false;
     for (int exact_pass = options.heuristic_ranking ? 0 : 1;
          exact_pass < 2 && !found; ++exact_pass) {
@@ -134,22 +194,56 @@ DesignPoint minimize_area(const Soc& soc, unsigned long long tat_budget,
         const unsigned next = best.selection[c] + 1;
         if (next >= soc.core(c).version_count()) continue;
         SOCET_COUNT("opt/moves_proposed");
+        const char* pass_name = exact_pass == 0 ? "heuristic" : "exact";
         if (exact_pass == 0) {
           const long long gain = latency_improvement(
               soc, best.plan, c, best.selection[c], next);
-          if (gain <= 0) continue;
+          if (gain <= 0) {
+            SOCET_EVENT("opt/propose", {"objective", "min_area"},
+                        {"pass", pass_name}, {"core", soc.core(c).name()},
+                        {"from", soc.core(c).version(best.selection[c]).name},
+                        {"to", soc.core(c).version(next).name},
+                        {"to_index", next + 1}, {"gain", gain},
+                        {"outcome", "rejected"},
+                        {"reason", "no_heuristic_gain"});
+            continue;
+          }
         }
         const long long delta_area =
             static_cast<long long>(soc.core(c).version(next).extra_cells) -
             static_cast<long long>(
                 soc.core(c).version(best.selection[c]).extra_cells);
-        if (delta_area >= best_cost) continue;
+        if (delta_area >= best_cost) {
+          SOCET_EVENT("opt/propose", {"objective", "min_area"},
+                      {"pass", pass_name}, {"core", soc.core(c).name()},
+                      {"from", soc.core(c).version(best.selection[c]).name},
+                      {"to", soc.core(c).version(next).name},
+                      {"to_index", next + 1}, {"delta_area", delta_area},
+                      {"outcome", "rejected"},
+                      {"reason", "costlier_than_best"});
+          continue;
+        }
         auto trial = best.selection;
         trial[c] = next;
         DesignPoint candidate = evaluate(soc, std::move(trial), options);
-        if (candidate.tat >= best.tat) continue;  // no real progress
+        if (candidate.tat >= best.tat) {  // no real progress
+          SOCET_EVENT("opt/propose", {"objective", "min_area"},
+                      {"pass", pass_name}, {"core", soc.core(c).name()},
+                      {"from", soc.core(c).version(best.selection[c]).name},
+                      {"to", soc.core(c).version(next).name},
+                      {"to_index", next + 1}, {"delta_area", delta_area},
+                      {"outcome", "rejected"}, {"reason", "no_tat_progress"});
+          continue;
+        }
+        SOCET_EVENT("opt/propose", {"objective", "min_area"},
+                    {"pass", pass_name}, {"core", soc.core(c).name()},
+                    {"from", soc.core(c).version(best.selection[c]).name},
+                    {"to", soc.core(c).version(next).name},
+                    {"to_index", next + 1}, {"delta_area", delta_area},
+                    {"outcome", "best"});
         best_cost = delta_area;
         best_candidate = std::move(candidate);
+        moved = c;
         found = true;
       }
     }
@@ -158,9 +252,22 @@ DesignPoint minimize_area(const Soc& soc, unsigned long long tat_budget,
     SOCET_HISTOGRAM("opt/accept_delta_tat", best.tat - best_candidate.tat);
     SOCET_HISTOGRAM("opt/accept_delta_area",
                     best_candidate.overhead_cells - best.overhead_cells);
+    SOCET_EVENT(
+        "opt/accept", {"objective", "min_area"},
+        {"core", soc.core(moved).name()},
+        {"from", soc.core(moved).version(best.selection[moved]).name},
+        {"to", soc.core(moved).version(best.selection[moved] + 1).name},
+        {"delta_tat", static_cast<long long>(best.tat) -
+                          static_cast<long long>(best_candidate.tat)},
+        {"delta_area", static_cast<long long>(best_candidate.overhead_cells) -
+                           static_cast<long long>(best.overhead_cells)},
+        {"tat", best_candidate.tat}, {"area", best_candidate.overhead_cells});
     best = std::move(best_candidate);
   }
   best.met_constraint = best.tat <= tat_budget;
+  SOCET_EVENT("opt/result", {"objective", "min_area"},
+              {"selection", selection_str(best.selection)}, {"tat", best.tat},
+              {"area", best.overhead_cells}, {"met", best.met_constraint});
   return best;
 }
 
@@ -177,6 +284,7 @@ DesignPoint minimize_weighted(const Soc& soc, double w1, double w2,
     SOCET_COUNT("opt/iterations");
     double best_gain = 0.0;
     DesignPoint best_candidate;
+    std::uint32_t moved = 0;
     bool found = false;
     for (std::uint32_t c = 0; c < soc.cores().size(); ++c) {
       const unsigned next = best.selection[c] + 1;
@@ -191,9 +299,23 @@ DesignPoint minimize_weighted(const Soc& soc, double w1, double w2,
           w2 * (static_cast<double>(candidate.overhead_cells) -
                 static_cast<double>(best.overhead_cells));
       if (gain > best_gain) {
+        SOCET_EVENT("opt/propose", {"objective", "weighted"},
+                    {"pass", "exact"}, {"core", soc.core(c).name()},
+                    {"from", soc.core(c).version(best.selection[c]).name},
+                    {"to", soc.core(c).version(next).name},
+                    {"to_index", next + 1}, {"gain", gain},
+                    {"outcome", "best"});
         best_gain = gain;
         best_candidate = std::move(candidate);
+        moved = c;
         found = true;
+      } else {
+        SOCET_EVENT("opt/propose", {"objective", "weighted"},
+                    {"pass", "exact"}, {"core", soc.core(c).name()},
+                    {"from", soc.core(c).version(best.selection[c]).name},
+                    {"to", soc.core(c).version(next).name},
+                    {"to_index", next + 1}, {"gain", gain},
+                    {"outcome", "rejected"}, {"reason", "gain_not_better"});
       }
     }
     if (!found) break;
@@ -203,8 +325,21 @@ DesignPoint minimize_weighted(const Soc& soc, double w1, double w2,
     }
     SOCET_HISTOGRAM("opt/accept_delta_area",
                     best_candidate.overhead_cells - best.overhead_cells);
+    SOCET_EVENT(
+        "opt/accept", {"objective", "weighted"},
+        {"core", soc.core(moved).name()},
+        {"from", soc.core(moved).version(best.selection[moved]).name},
+        {"to", soc.core(moved).version(best.selection[moved] + 1).name},
+        {"delta_tat", static_cast<long long>(best.tat) -
+                          static_cast<long long>(best_candidate.tat)},
+        {"delta_area", static_cast<long long>(best_candidate.overhead_cells) -
+                           static_cast<long long>(best.overhead_cells)},
+        {"tat", best_candidate.tat}, {"area", best_candidate.overhead_cells});
     best = std::move(best_candidate);
   }
+  SOCET_EVENT("opt/result", {"objective", "weighted"},
+              {"selection", selection_str(best.selection)}, {"tat", best.tat},
+              {"area", best.overhead_cells});
   return best;
 }
 

@@ -7,6 +7,7 @@
 #include <map>
 #include <thread>
 
+#include "socet/obs/journal.hpp"
 #include "socet/obs/metrics.hpp"
 #include "socet/obs/resource.hpp"
 #include "socet/obs/trace.hpp"
@@ -290,8 +291,13 @@ BatchReport PlanningService::run_lines(const std::vector<std::string>& lines) {
       result.index = i;
       result.queue_us = microseconds_between(item->enqueued, start);
       const std::string label = "job " + std::to_string(i + 1);
+      // Correlate every decision event recorded while this job runs
+      // (routes, optimizer moves, ...) with the job's batch index.
+      obs::JournalScope journal_scope("job-" + std::to_string(i + 1));
       if (!batch[i].parsed()) {
         result.record = label + " error " + batch[i].parse_error;
+        SOCET_EVENT("service/job", {"job", i + 1}, {"outcome", "parse_error"},
+                    {"error", batch[i].parse_error});
       } else {
         const Job& job = batch[i].job;
         result.key = job_key(job);
@@ -304,6 +310,13 @@ BatchReport PlanningService::run_lines(const std::vector<std::string>& lines) {
             entry = execute_job(job, systems);
             cache_.insert(result.key, entry);
           }
+          char key_hex[20];
+          std::snprintf(key_hex, sizeof(key_hex), "%016llx",
+                        static_cast<unsigned long long>(result.key));
+          SOCET_EVENT("service/job", {"job", i + 1},
+                      {"verb", verb_name(job.verb)}, {"system", job.system},
+                      {"cache", result.cache_hit ? "hit" : "miss"},
+                      {"key", key_hex});
           result.ok = true;
           result.tat = entry.tat;
           result.overhead_cells = entry.overhead_cells;
@@ -311,6 +324,9 @@ BatchReport PlanningService::run_lines(const std::vector<std::string>& lines) {
               label + " ok " + verb_name(job.verb) + " " + entry.payload;
         } catch (const std::exception& error) {
           result.record = label + " error " + error.what();
+          SOCET_EVENT("service/job", {"job", i + 1},
+                      {"verb", verb_name(job.verb)}, {"system", job.system},
+                      {"outcome", "error"}, {"error", error.what()});
         }
       }
       result.wall_us = microseconds_between(start, Clock::now());

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "socet/obs/journal.hpp"
+
 namespace socet::soc {
 
 namespace {
@@ -79,23 +81,34 @@ ParallelSchedule schedule_parallel(const Soc& soc,
   std::vector<unsigned long long> session_tats;
   for (const CoreTestPlan* core_plan : order) {
     const SessionFootprint fp = footprint(ccg, *core_plan);
+    const std::string& core_name = soc.core(core_plan->core).name();
     bool placed = false;
     for (std::size_t s = 0; s < schedule.sessions.size(); ++s) {
-      if (disjoint(session_footprints[s].cores, fp.cores) &&
-          disjoint(session_footprints[s].resources, fp.resources)) {
+      const bool cores_ok = disjoint(session_footprints[s].cores, fp.cores);
+      const bool resources_ok =
+          disjoint(session_footprints[s].resources, fp.resources);
+      if (cores_ok && resources_ok) {
         schedule.sessions[s].push_back(core_plan->core);
         session_footprints[s].cores.insert(fp.cores.begin(), fp.cores.end());
         session_footprints[s].resources.insert(fp.resources.begin(),
                                                fp.resources.end());
         session_tats[s] = std::max(session_tats[s], core_plan->tat);
+        SOCET_EVENT("parallel/place", {"core", core_name}, {"session", s + 1},
+                    {"new_session", false}, {"tat", core_plan->tat});
         placed = true;
         break;
       }
+      SOCET_EVENT("parallel/conflict", {"core", core_name},
+                  {"session", s + 1},
+                  {"shared", cores_ok ? "resources" : "cores"});
     }
     if (!placed) {
       schedule.sessions.push_back({core_plan->core});
       session_footprints.push_back(fp);
       session_tats.push_back(core_plan->tat);
+      SOCET_EVENT("parallel/place", {"core", core_name},
+                  {"session", schedule.sessions.size()},
+                  {"new_session", true}, {"tat", core_plan->tat});
     }
   }
   for (unsigned long long tat : session_tats) schedule.total_tat += tat;

@@ -7,6 +7,7 @@
 #include <map>
 #include <set>
 
+#include "socet/obs/journal.hpp"
 #include "socet/obs/metrics.hpp"
 #include "socet/obs/resource.hpp"
 #include "socet/obs/trace.hpp"
@@ -171,6 +172,29 @@ ChipTestPlan plan_chip_test(const Soc& soc,
   std::set<CorePortRef> forced_out(options.forced_output_muxes.begin(),
                                    options.forced_output_muxes.end());
 
+  // Journal rendering of a chosen route: the node path with any
+  // reservation-forced departure slides called out (` =+2=> ` means the
+  // value waited two cycles for the shared resource).  `shift` sums the
+  // slides — Section 5.1's serialization cost made visible.
+  const auto describe_route = [&ccg, &soc](const Route& route,
+                                           unsigned* shift_out) {
+    std::string path;
+    unsigned shift = 0;
+    unsigned at = 0;
+    for (std::size_t i = 0; i < route.steps.size(); ++i) {
+      const RouteStep& step = route.steps[i];
+      const CcgEdge& edge = ccg.edges()[step.edge];
+      if (i == 0) path = ccg.node_name(soc, edge.src);
+      const unsigned slide = step.depart - at;
+      shift += slide;
+      path += slide > 0 ? " =+" + std::to_string(slide) + "=> " : " -> ";
+      path += ccg.node_name(soc, edge.dst);
+      at = step.arrive;
+    }
+    *shift_out = shift;
+    return path;
+  };
+
   for (std::uint32_t c = 0; c < soc.cores().size(); ++c) {
     const core::Core& cut = soc.core(c);
     util::require(cut.scan_vectors() > 0,
@@ -203,10 +227,27 @@ ChipTestPlan plan_chip_test(const Soc& soc,
         Route mux_route;
         mux_route.via_system_mux = true;
         mux_route.arrival = 1;  // PI -> test mux -> core input, one cycle
-        core_plan.system_mux_cells +=
+        const unsigned mux_cells =
             options.system_mux_per_bit * cut.netlist().port(port).width +
             options.system_mux_control;
+        core_plan.system_mux_cells += mux_cells;
+        SOCET_EVENT("ccg/mux", {"core", cut.name()},
+                    {"port", cut.netlist().port(port).name},
+                    {"dir", "justify"},
+                    {"width", cut.netlist().port(port).width},
+                    {"cells", mux_cells},
+                    {"reason", forced_in.count(CorePortRef{c, port}) != 0
+                                   ? "forced"
+                                   : "no_route"});
         route = mux_route;
+      } else if (obs::journal_enabled()) {
+        unsigned shift = 0;
+        const std::string path = describe_route(*route, &shift);
+        SOCET_EVENT("ccg/route", {"core", cut.name()},
+                    {"port", cut.netlist().port(port).name},
+                    {"dir", "justify"}, {"arrival", route->arrival},
+                    {"shift", shift}, {"steps", route->steps.size()},
+                    {"path", path});
       }
       period = std::max(period, std::max(route->arrival, 1u));
       core_plan.input_routes.emplace_back(port, std::move(*route));
@@ -235,10 +276,27 @@ ChipTestPlan plan_chip_test(const Soc& soc,
         Route mux_route;
         mux_route.via_system_mux = true;
         mux_route.arrival = 0;  // core output -> test mux -> PO
-        core_plan.system_mux_cells +=
+        const unsigned mux_cells =
             options.system_mux_per_bit * cut.netlist().port(port).width +
             options.system_mux_control;
+        core_plan.system_mux_cells += mux_cells;
+        SOCET_EVENT("ccg/mux", {"core", cut.name()},
+                    {"port", cut.netlist().port(port).name},
+                    {"dir", "observe"},
+                    {"width", cut.netlist().port(port).width},
+                    {"cells", mux_cells},
+                    {"reason", forced_out.count(CorePortRef{c, port}) != 0
+                                   ? "forced"
+                                   : "no_route"});
         route = mux_route;
+      } else if (obs::journal_enabled()) {
+        unsigned shift = 0;
+        const std::string path = describe_route(*route, &shift);
+        SOCET_EVENT("ccg/route", {"core", cut.name()},
+                    {"port", cut.netlist().port(port).name},
+                    {"dir", "observe"}, {"arrival", route->arrival},
+                    {"shift", shift}, {"steps", route->steps.size()},
+                    {"path", path});
       }
       observe = std::max(observe, route->arrival);
       core_plan.output_routes.emplace_back(port, std::move(*route));
@@ -283,6 +341,12 @@ ChipTestPlan plan_chip_test(const Soc& soc,
       core_plan.tat =
           vectors * static_cast<unsigned long long>(period) + core_plan.flush;
     }
+    SOCET_EVENT("soc/core_planned", {"core", cut.name()},
+                {"version", soc.core(c).version(selection[c]).name},
+                {"period", core_plan.period}, {"flush", core_plan.flush},
+                {"vectors", vectors}, {"tat", core_plan.tat},
+                {"mux_cells", core_plan.system_mux_cells},
+                {"pipelined", options.allow_pipelining});
     plan.system_mux_cells += core_plan.system_mux_cells;
     plan.total_tat += core_plan.tat;
     plan.cores.push_back(std::move(core_plan));

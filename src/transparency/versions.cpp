@@ -4,6 +4,7 @@
 #include <map>
 #include <numeric>
 
+#include "socet/obs/journal.hpp"
 #include "socet/obs/metrics.hpp"
 #include "socet/obs/resource.hpp"
 #include "socet/obs/trace.hpp"
@@ -100,14 +101,26 @@ CoreVersion make_version(const Rcg& rcg, const VersionPolicy& policy,
   // --- Justification: every output must be controllable from inputs. ----
   for (std::uint32_t out_node : rcg.output_nodes()) {
     SearchResult best;
+    const Attempt* chosen = nullptr;
     for (const Attempt& attempt : ladder) {
       best = find_justification(
           rcg, out_node, attempt.allowed,
           attempt.exclusive ? used_edges : no_exclusions);
-      if (best.found) break;
+      if (best.found) {
+        chosen = &attempt;
+        break;
+      }
     }
     const PortId out_port(rcg.node(out_node).ref.index);
     if (best.found) {
+      SOCET_EVENT(
+          "transparency/path", {"core", netlist.name()},
+          {"version", policy.name}, {"port", netlist.port(out_port).name},
+          {"dir", "justify"},
+          {"edge_class",
+           chosen->allowed == EdgeClass::kHscanOnly ? "hscan" : "existing"},
+          {"reuse", !chosen->exclusive}, {"latency", best.latency},
+          {"edges", best.edges.size()}, {"freezes", best.freeze_points});
       FoundPath fp;
       fp.result = best;
       for (std::uint32_t e : best.edges) {
@@ -139,23 +152,42 @@ CoreVersion make_version(const Rcg& rcg, const VersionPolicy& policy,
       paths.push_back(std::move(fp));
       const bool control =
           netlist.port(out_port).kind == rtl::PortKind::kControl;
-      version.extra_cells +=
+      const unsigned mux_cells =
           (control ? cost.control_bypass_per_bit : cost.trans_mux_per_bit) *
               netlist.port(out_port).width +
           cost.trans_mux_control;
+      version.extra_cells += mux_cells;
+      SOCET_EVENT("transparency/mux", {"core", netlist.name()},
+                  {"version", policy.name},
+                  {"port", netlist.port(out_port).name}, {"dir", "justify"},
+                  {"pair", netlist.port(src).name + "->" +
+                               netlist.port(out_port).name},
+                  {"cells", mux_cells}, {"reason", "no_path"});
     }
   }
 
   // --- Propagation: every input must reach outputs. ---------------------
   for (std::uint32_t in_node : rcg.input_nodes()) {
     SearchResult best;
+    const Attempt* chosen = nullptr;
     for (const Attempt& attempt : ladder) {
       best = find_propagation(rcg, in_node, attempt.allowed,
                               attempt.exclusive ? used_edges : no_exclusions);
-      if (best.found) break;
+      if (best.found) {
+        chosen = &attempt;
+        break;
+      }
     }
     const PortId in_port(rcg.node(in_node).ref.index);
     if (best.found) {
+      SOCET_EVENT(
+          "transparency/path", {"core", netlist.name()},
+          {"version", policy.name}, {"port", netlist.port(in_port).name},
+          {"dir", "propagate"},
+          {"edge_class",
+           chosen->allowed == EdgeClass::kHscanOnly ? "hscan" : "existing"},
+          {"reuse", !chosen->exclusive}, {"latency", best.latency},
+          {"edges", best.edges.size()}, {"freezes", best.freeze_points});
       FoundPath fp;
       fp.result = best;
       for (std::uint32_t e : best.edges) {
@@ -184,10 +216,17 @@ CoreVersion make_version(const Rcg& rcg, const VersionPolicy& policy,
       fp.pairs.emplace_back(in_port, dst);
       paths.push_back(std::move(fp));
       const bool control = netlist.port(in_port).kind == rtl::PortKind::kControl;
-      version.extra_cells +=
+      const unsigned mux_cells =
           (control ? cost.control_bypass_per_bit : cost.trans_mux_per_bit) *
               netlist.port(in_port).width +
           cost.trans_mux_control;
+      version.extra_cells += mux_cells;
+      SOCET_EVENT("transparency/mux", {"core", netlist.name()},
+                  {"version", policy.name},
+                  {"port", netlist.port(in_port).name}, {"dir", "propagate"},
+                  {"pair", netlist.port(in_port).name + "->" +
+                               netlist.port(dst).name},
+                  {"cells", mux_cells}, {"reason", "no_path"});
     }
   }
 

@@ -58,6 +58,31 @@ TEST(JsonInTest, RejectsMalformedDocuments) {
   EXPECT_NE(error.find("at byte"), std::string::npos);
 }
 
+TEST(JsonInTest, BoundsContainerNestingDepth) {
+  // A hostile `[[[[...]]]]` must be rejected by the depth limit, not
+  // overflow the parser's recursion stack.
+  const std::string deep(200, '[');
+  JsonValue doc;
+  std::string error;
+  EXPECT_FALSE(json_parse(deep + std::string(200, ']'), &doc, &error));
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos);
+
+  // 90 levels is within the cap...
+  std::string ok = std::string(90, '[') + "1" + std::string(90, ']');
+  EXPECT_TRUE(json_parse(ok, &doc, &error)) << error;
+
+  // ...and the counter unwinds on the way out: many *sibling*
+  // containers never approach the limit.
+  std::string wide = "[";
+  for (int i = 0; i < 300; ++i) {
+    if (i != 0) wide += ',';
+    wide += "{\"a\":[1]}";
+  }
+  wide += "]";
+  EXPECT_TRUE(json_parse(wide, &doc, &error)) << error;
+  EXPECT_EQ(doc.array_value.size(), 300u);
+}
+
 // -------------------------------------------------------------- bench lines
 
 TEST(BenchLineTest, ParsesLineWithExtrasAmongNoise) {

@@ -373,13 +373,16 @@ TEST(Cli, ObservabilityKeepsStdoutByteIdentical) {
   }
   const CliRun plain = run_cli("batch --jobs " + path + " --threads 1");
   EXPECT_EQ(plain.exit_code, 0);
-  // Tracing + metrics never touch stdout, at any thread count.
+  // Tracing + metrics + journal never touch stdout, at any thread count.
   for (const char* threads : {"1", "8"}) {
     const std::string trace =
         testing::TempDir() + "socet_obs_trace_t" + threads + ".json";
+    const std::string journal =
+        testing::TempDir() + "socet_obs_journal_t" + threads + ".jsonl";
     const CliRun traced =
         run_cli("batch --jobs " + path + " --threads " + threads +
-                " --trace " + trace + " --metrics");
+                " --trace " + trace + " --metrics --journal " + journal +
+                " --flight-recorder 64");
     EXPECT_EQ(traced.exit_code, 0) << threads << " threads";
     EXPECT_EQ(traced.output, plain.output) << threads << " threads";
     std::ifstream file(trace);
@@ -388,7 +391,15 @@ TEST(Cli, ObservabilityKeepsStdoutByteIdentical) {
                      std::istreambuf_iterator<char>());
     EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
     EXPECT_NE(json.find("\"service/job\""), std::string::npos);
+    std::ifstream journal_file(journal);
+    ASSERT_TRUE(journal_file.good()) << journal;
+    std::string journal_text((std::istreambuf_iterator<char>(journal_file)),
+                             std::istreambuf_iterator<char>());
+    EXPECT_NE(journal_text.find("\"schema\":\"socet-journal-v1\""),
+              std::string::npos);
+    EXPECT_NE(journal_text.find("\"corr\":\"job-"), std::string::npos);
     std::remove(trace.c_str());
+    std::remove(journal.c_str());
   }
   std::remove(path.c_str());
 }

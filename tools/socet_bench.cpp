@@ -369,11 +369,14 @@ int main(int argc, char** argv) {
     }
     const auto outcomes = obs::bench::check_against_baseline(
         records, baseline, options.tolerance_pct);
-    util::Table gate({"bench", "baseline (ms)", "measured (ms)", "limit (ms)",
+    util::Table gate({"bench", "baseline (ms)", "measured (ms)",
+                      "margin (ms)", "iqr allow (ms)", "limit (ms)",
                       "verdict"});
     for (const CheckOutcome& outcome : outcomes) {
       gate.add_row({outcome.name, util::Table::num(outcome.baseline_ms, 2),
                     util::Table::num(outcome.measured_ms, 2),
+                    util::Table::num(outcome.margin_ms, 2),
+                    util::Table::num(outcome.iqr_allowance_ms, 2),
                     util::Table::num(outcome.limit_ms, 2),
                     verdict_text(outcome.verdict)});
     }

@@ -12,18 +12,23 @@
 //   socet verilog  --core CPU [--gates]      # Verilog to stdout
 //   socet dot      (--core CPU | --ccg) [--system ...]   # Graphviz
 //   socet interface --core CPU               # shippable core interface
+//   socet explain  mux|version|route|reject [NAME [VERSION]] --journal FILE
 //
 // Core names: CPU, PREPROCESSOR, DISPLAY, GRAPHICS, GCD, X25.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "socet/core/serialize.hpp"
 #include "socet/emit/dot.hpp"
 #include "socet/emit/verilog.hpp"
+#include "socet/obs/explain.hpp"
+#include "socet/obs/journal.hpp"
 #include "socet/obs/metrics.hpp"
 #include "socet/obs/report.hpp"
 #include "socet/obs/resource.hpp"
@@ -45,11 +50,15 @@ using namespace socet;
 struct Args {
   std::string command;
   std::map<std::string, std::string> options;
+  std::vector<std::string> positionals;  ///< bare tokens ("explain mux CPU")
 
   bool has(const std::string& key) const { return options.count(key) != 0; }
   std::string get(const std::string& key, const std::string& fallback) const {
     auto it = options.find(key);
     return it == options.end() ? fallback : it->second;
+  }
+  std::string positional(std::size_t i) const {
+    return i < positionals.size() ? positionals[i] : "";
   }
 };
 
@@ -58,7 +67,10 @@ Args parse_args(int argc, char** argv) {
   if (argc >= 2) args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string token = argv[i];
-    if (token.rfind("--", 0) != 0) continue;
+    if (token.rfind("--", 0) != 0) {
+      args.positionals.push_back(std::move(token));
+      continue;
+    }
     token = token.substr(2);
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       args.options[token] = argv[++i];
@@ -241,9 +253,9 @@ int cmd_batch(const Args& args) {
   std::fprintf(stderr, "%s", report.summary_table().c_str());
   if (args.has("verbose")) {
     for (const auto& result : report.results) {
-      std::fprintf(stderr, "job %zu queue_us=%.1f wall_us=%.1f%s\n",
+      std::fprintf(stderr, "job %zu queue_us=%.1f wall_us=%.1f cache=%s\n",
                    result.index + 1, result.queue_us, result.wall_us,
-                   result.cache_hit ? " cache_hit" : "");
+                   result.cache_hit ? "hit" : "miss");
     }
   }
   return report.errors == 0 ? 0 : 1;
@@ -322,6 +334,41 @@ int cmd_interface(const Args& args) {
   return 0;
 }
 
+int cmd_explain(const Args& args) {
+  const std::string path = args.get("journal", "");
+  util::require(!path.empty(),
+                "explain needs --journal FILE (record one with e.g. "
+                "`socet plan --journal run.jsonl`)");
+  std::ifstream file(path);
+  util::require(file.good(), "cannot open journal '" + path + "'");
+  const std::string text((std::istreambuf_iterator<char>(file)),
+                         std::istreambuf_iterator<char>());
+
+  obs::JournalDoc doc;
+  std::string error;
+  util::require(obs::load_journal(text, &doc, &error),
+                "bad journal '" + path + "': " + error);
+
+  const std::string query = args.positional(0);
+  util::require(!query.empty(),
+                "explain needs a query: mux|version|route|reject [args]");
+  std::string answer;
+  if (query == "mux") {
+    answer = obs::explain_mux(doc, args.positional(1));
+  } else if (query == "version") {
+    answer = obs::explain_version(doc, args.positional(1));
+  } else if (query == "route") {
+    answer = obs::explain_route(doc, args.positional(1));
+  } else if (query == "reject") {
+    answer = obs::explain_reject(doc, args.positional(1), args.positional(2));
+  } else {
+    util::raise("unknown explain query '" + query +
+                "' (use mux|version|route|reject)");
+  }
+  std::printf("%s", answer.c_str());
+  return 0;
+}
+
 int usage() {
   std::fprintf(
       stderr,
@@ -339,6 +386,9 @@ int usage() {
       "  verilog   --core NAME [--gates]\n"
       "  dot       --core NAME | --ccg [--system ...]\n"
       "  interface --core NAME\n"
+      "  explain   mux|version|route|reject [NAME [VERSION]]\n"
+      "            --journal FILE (provenance queries over a recorded\n"
+      "            decision journal)\n"
       "observability (any command; stdout is never touched):\n"
       "  --metrics       print the metrics table to stderr on exit\n"
       "  --trace FILE    write a Chrome trace-event JSON (chrome://tracing)\n"
@@ -346,6 +396,10 @@ int usage() {
       "                  rusage/hw-counter resource accounting)\n"
       "  --profile FILE  sample the run with SIGPROF; folded stacks to\n"
       "                  FILE (flamegraph-ready), top functions to stderr\n"
+      "  --journal FILE  record the decision journal (routes, optimizer\n"
+      "                  moves, mux insertions, cache hits) as JSONL\n"
+      "  --flight-recorder [N]  keep the last N decision events (default\n"
+      "                  256) in a ring; dump them to stderr on a crash\n"
       "  (metric and span names: docs/OBSERVABILITY.md)\n");
   return 2;
 }
@@ -359,7 +413,7 @@ const std::map<std::string, Command>& commands() {
       {"batch", cmd_batch},       {"sweep", cmd_sweep},
       {"program", cmd_program},   {"parallel", cmd_parallel},
       {"verilog", cmd_verilog},   {"dot", cmd_dot},
-      {"interface", cmd_interface}};
+      {"interface", cmd_interface}, {"explain", cmd_explain}};
   return table;
 }
 
@@ -394,6 +448,20 @@ int main(int argc, char** argv) {
   if (!profile_path.empty() && !obs::Sampler::start({})) {
     std::fprintf(stderr, "warning: --profile unavailable on this platform\n");
   }
+  // For `explain`, --journal names the *input* document; every other
+  // command records one.
+  const bool is_explain = command->first == "explain";
+  const std::string journal_path =
+      is_explain ? std::string() : args.get("journal", "");
+  if (!journal_path.empty()) obs::journal_start_memory();
+  if (args.has("flight-recorder") && !is_explain) {
+    const std::string capacity_text = args.get("flight-recorder", "");
+    const unsigned long capacity =
+        capacity_text.empty()
+            ? 256
+            : parse_option_count(args, "flight-recorder", 256);
+    obs::journal_start_flight(capacity);
+  }
 
   int status = 1;
   try {
@@ -426,6 +494,10 @@ int main(int argc, char** argv) {
   };
   if (!trace_path.empty()) {
     write_file(trace_path, obs::chrome_trace_json(), "trace");
+  }
+  if (!journal_path.empty()) {
+    obs::journal_stop();
+    write_file(journal_path, obs::journal_jsonl(), "journal");
   }
   if (!report_path.empty()) {
     write_file(report_path, obs::run_report_json(command->first), "report");
