@@ -1,128 +1,44 @@
 #include "socet/faultsim/scan_sim.hpp"
 
-#include <algorithm>
-
-#include "socet/gate/sim.hpp"
+#include "socet/obs/journal.hpp"
 #include "socet/obs/metrics.hpp"
 #include "socet/obs/resource.hpp"
+#include "socet/util/error.hpp"
 
 namespace socet::faultsim {
 
-namespace {
-
-using gate::Gate;
-using gate::GateId;
-using gate::GateKind;
-
-}  // namespace
-
-ScanFaultSim::ScanFaultSim(const gate::GateNetlist& netlist)
-    : netlist_(netlist),
-      good_(netlist.gate_count(), 0),
-      scratch_(netlist.gate_count(), 0),
-      stamp_(netlist.gate_count(), 0),
-      cones_(netlist.gate_count()),
-      cone_built_(netlist.gate_count(), 0),
-      topo_pos_(netlist.gate_count(), 0) {
-  const auto& order = netlist.topo_order();
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    topo_pos_[order[i].index()] = static_cast<std::uint32_t>(i);
-  }
+ScanFaultSim::ScanFaultSim(const gate::GateNetlist& netlist,
+                           ScanSimOptions options)
+    : netlist_(netlist), options_(options), cones_(netlist) {
+  util::require(options_.lane_words == 0 || options_.lane_words == 1 ||
+                    options_.lane_words == 4 || options_.lane_words == 8,
+                "ScanFaultSim: lane_words must be 0 (auto), 1, 4 or 8");
 }
 
-void ScanFaultSim::load_block(const std::vector<ScanPattern>& patterns,
-                              std::size_t first, std::size_t count) {
-  const auto& inputs = netlist_.inputs();
-  const auto& dffs = netlist_.dffs();
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    std::uint64_t word = 0;
-    for (std::size_t k = 0; k < count; ++k) {
-      if (patterns[first + k].pi.get(i)) word |= 1ULL << k;
-    }
-    good_[inputs[i].index()] = word;
-  }
-  for (std::size_t i = 0; i < dffs.size(); ++i) {
-    std::uint64_t word = 0;
-    for (std::size_t k = 0; k < count; ++k) {
-      if (patterns[first + k].ppi.get(i)) word |= 1ULL << k;
-    }
-    good_[dffs[i].index()] = word;
-  }
-  eval_comb(netlist_, good_);
+unsigned ScanFaultSim::auto_lane_words(std::size_t pattern_count) {
+  // A run that fits one seed-width block gains nothing from wider lanes
+  // (the extra words would simulate only padding); scale up with the
+  // pattern count so big regrades amortize cone replays across 512
+  // patterns per pass.
+  if (pattern_count <= 64) return 1;
+  if (pattern_count <= 256) return 4;
+  return 8;
 }
 
-std::uint64_t ScanFaultSim::lookup(GateId id) const {
-  return stamp_[id.index()] == current_stamp_ ? scratch_[id.index()]
-                                              : good_[id.index()];
-}
-
-std::uint64_t ScanFaultSim::faulty_word(GateId id, const Fault& f) {
-  const Gate& g = netlist_.gate(id);
-  if (id == f.gate && f.pin < 0) {
-    return f.stuck_at ? ~0ULL : 0;
-  }
-  auto in = [&](std::size_t pin) -> std::uint64_t {
-    if (id == f.gate && static_cast<std::int32_t>(pin) == f.pin) {
-      return f.stuck_at ? ~0ULL : 0;
+BlockEngineBase& ScanFaultSim::engine_for(unsigned lane_words) {
+  const unsigned slot = lane_words == 1 ? 0 : lane_words == 4 ? 1 : 2;
+  auto& engine = engines_[slot];
+  if (!engine) {
+    EngineOptions eo;
+    eo.event_driven = options_.event_driven;
+    eo.replay_suppression = options_.replay_suppression;
+    eo.initial_stamp = options_.initial_stamp;
+    if (lane_words >= 4 && options_.use_avx2) {
+      engine = make_avx2_engine(lane_words, cones_, eo);
     }
-    return lookup(g.fanin[pin]);
-  };
-  std::uint64_t v = 0;
-  switch (g.kind) {
-    case GateKind::kInput:
-    case GateKind::kDff:
-      return lookup(id);  // value sources: unchanged within a pattern
-    case GateKind::kConst0:
-      return 0;
-    case GateKind::kConst1:
-      return ~0ULL;
-    case GateKind::kBuf:
-      return in(0);
-    case GateKind::kNot:
-      return ~in(0);
-    case GateKind::kAnd:
-    case GateKind::kNand:
-      v = ~0ULL;
-      for (std::size_t p = 0; p < g.fanin.size(); ++p) v &= in(p);
-      return g.kind == GateKind::kNand ? ~v : v;
-    case GateKind::kOr:
-    case GateKind::kNor:
-      v = 0;
-      for (std::size_t p = 0; p < g.fanin.size(); ++p) v |= in(p);
-      return g.kind == GateKind::kNor ? ~v : v;
-    case GateKind::kXor:
-      return in(0) ^ in(1);
-    case GateKind::kXnor:
-      return ~(in(0) ^ in(1));
+    if (!engine) engine = make_scalar_engine(lane_words, cones_, eo);
   }
-  util::raise("faulty_word: unknown gate kind");
-}
-
-const std::vector<GateId>& ScanFaultSim::cone_of(GateId id) {
-  if (cone_built_[id.index()]) return cones_[id.index()];
-  // Forward BFS through fanouts; DFFs terminate propagation within one
-  // scan pattern (their D value is the observation point).
-  std::vector<GateId> cone{id};
-  std::vector<char> seen(netlist_.gate_count(), 0);
-  seen[id.index()] = 1;
-  const auto& fanouts = netlist_.fanouts();
-  for (std::size_t head = 0; head < cone.size(); ++head) {
-    if (netlist_.gate(cone[head]).kind == GateKind::kDff && head != 0) {
-      continue;
-    }
-    for (GateId next : fanouts[cone[head].index()]) {
-      if (seen[next.index()]) continue;
-      if (netlist_.gate(next).kind == GateKind::kDff) continue;
-      seen[next.index()] = 1;
-      cone.push_back(next);
-    }
-  }
-  std::sort(cone.begin(), cone.end(), [this](GateId a, GateId b) {
-    return topo_pos_[a.index()] < topo_pos_[b.index()];
-  });
-  cones_[id.index()] = std::move(cone);
-  cone_built_[id.index()] = 1;
-  return cones_[id.index()];
+  return *engine;
 }
 
 void ScanFaultSim::run(const std::vector<Fault>& faults,
@@ -132,90 +48,33 @@ void ScanFaultSim::run(const std::vector<Fault>& faults,
                 "ScanFaultSim::run: status vector size mismatch");
   SOCET_RESOURCE_SCOPE("faultsim/scan_run");
 
-  // Observation points: POs plus every DFF's D fanin (PPOs).
-  std::vector<GateId> observe = netlist_.outputs();
-  for (GateId dff : netlist_.dffs()) {
-    observe.push_back(netlist_.gate(dff).fanin[0]);
-  }
-  std::sort(observe.begin(), observe.end());
-  observe.erase(std::unique(observe.begin(), observe.end()), observe.end());
+  const unsigned width = options_.lane_words != 0
+                             ? options_.lane_words
+                             : auto_lane_words(patterns.size());
+  BlockEngineBase& engine = engine_for(width);
+  last_lane_words_ = engine.lane_words();
+  last_kernel_ = engine.kernel_name();
+  SOCET_EVENT("faultsim/kernel", {"lane_words", engine.lane_words()},
+              {"kernel", engine.kernel_name()},
+              {"patterns", static_cast<unsigned long long>(patterns.size())},
+              {"faults", static_cast<unsigned long long>(faults.size())});
 
-  std::size_t dropped = 0;
-  for (std::size_t first = 0; first < patterns.size(); first += 64) {
-    const std::size_t count = std::min<std::size_t>(64, patterns.size() - first);
-    const std::uint64_t mask =
-        count == 64 ? ~0ULL : ((1ULL << count) - 1);
-    load_block(patterns, first, count);
-    SOCET_COUNT("faultsim/pattern_blocks");
+  EngineStats stats;
+  engine.run(faults, 0, faults.size(), patterns, statuses, &stats);
 
-    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
-      if (statuses[fi] != FaultStatus::kUndetected) continue;
-      const Fault& f = faults[fi];
-      ++current_stamp_;
-
-      const std::uint64_t site = faulty_word(f.gate, f);
-      if (((site ^ good_[f.gate.index()]) & mask) == 0) continue;  // inactive
-      scratch_[f.gate.index()] = site;
-      stamp_[f.gate.index()] = current_stamp_;
-
-      const auto& cone = cone_of(f.gate);
-      for (std::size_t c = 1; c < cone.size(); ++c) {
-        const GateId id = cone[c];
-        scratch_[id.index()] = faulty_word(id, f);
-        stamp_[id.index()] = current_stamp_;
-      }
-
-      for (GateId obs : observe) {
-        if (((lookup(obs) ^ good_[obs.index()]) & mask) != 0) {
-          statuses[fi] = FaultStatus::kDetected;
-          ++dropped;
-          break;
-        }
-      }
-    }
-  }
-  SOCET_COUNT_N("faultsim/faults_dropped", dropped);
+  SOCET_COUNT_N("faultsim/pattern_blocks", stats.blocks);
+  SOCET_COUNT_N("faultsim/good_gate_evals", stats.gates_evaluated);
+  SOCET_COUNT_N("faultsim/cone_replays", stats.cone_replays);
+  SOCET_COUNT_N("faultsim/faults_dropped", stats.faults_dropped);
 }
 
 util::BitVector ScanFaultSim::good_response(const ScanPattern& pattern) {
-  load_block({pattern}, 0, 1);
-  const auto& outputs = netlist_.outputs();
-  const auto& dffs = netlist_.dffs();
-  util::BitVector response(outputs.size() + dffs.size());
-  for (std::size_t i = 0; i < outputs.size(); ++i) {
-    response.set(i, (good_[outputs[i].index()] & 1) != 0);
-  }
-  for (std::size_t i = 0; i < dffs.size(); ++i) {
-    const GateId d = netlist_.gate(dffs[i]).fanin[0];
-    response.set(outputs.size() + i, (good_[d.index()] & 1) != 0);
-  }
-  return response;
+  return engine_for(1).good_response(pattern);
 }
 
 util::BitVector ScanFaultSim::faulty_response(const Fault& fault,
                                               const ScanPattern& pattern) {
-  load_block({pattern}, 0, 1);
-  ++current_stamp_;
-  const std::uint64_t site = faulty_word(fault.gate, fault);
-  scratch_[fault.gate.index()] = site;
-  stamp_[fault.gate.index()] = current_stamp_;
-  const auto& cone = cone_of(fault.gate);
-  for (std::size_t c = 1; c < cone.size(); ++c) {
-    scratch_[cone[c].index()] = faulty_word(cone[c], fault);
-    stamp_[cone[c].index()] = current_stamp_;
-  }
-
-  const auto& outputs = netlist_.outputs();
-  const auto& dffs = netlist_.dffs();
-  util::BitVector response(outputs.size() + dffs.size());
-  for (std::size_t i = 0; i < outputs.size(); ++i) {
-    response.set(i, (lookup(outputs[i]) & 1) != 0);
-  }
-  for (std::size_t i = 0; i < dffs.size(); ++i) {
-    const GateId d = netlist_.gate(dffs[i]).fanin[0];
-    response.set(outputs.size() + i, (lookup(d) & 1) != 0);
-  }
-  return response;
+  return engine_for(1).faulty_response(fault, pattern);
 }
 
 }  // namespace socet::faultsim

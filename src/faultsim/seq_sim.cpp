@@ -58,7 +58,13 @@ std::uint64_t eval_gate_scalar(const Gate& g, std::uint64_t machine_bit,
       v = in(0) == in(1);
       break;
     default:
-      return 0;  // inputs/constants/DFFs have no pin faults after collapse
+      // Inputs and constants have no input pins, and DFF D-pin faults
+      // are applied at capture, never here.  Returning a value would
+      // silently force the faulty machine to 0 (the seed did exactly
+      // that); fail loudly instead.
+      util::raise(
+          "eval_gate_scalar: pin fault on a gate without evaluable input "
+          "pins (input/constant)");
   }
   return v ? machine_bit : 0;
 }
@@ -78,6 +84,14 @@ void SequentialFaultSim::run(const std::vector<Fault>& faults,
   const auto& order = netlist_.topo_order();
   const std::size_t n = netlist_.gate_count();
 
+  // Scratch shared by every group pass (hoisted: allocating gate_count
+  // sized vectors per 63-fault group dominated small-circuit runs).
+  std::vector<SiteFaults> site(n);
+  std::vector<char> has_fault(n, 0);
+  std::vector<std::uint64_t> values(n, 0);
+  std::vector<std::uint64_t> state(dffs.size(), 0);
+  std::vector<std::size_t> faulted_gates;  ///< site/has_fault reset list
+
   // Process faults in groups of up to 63 (bit 0 = good machine).
   std::vector<std::size_t> group;
   std::size_t next_fault = 0;
@@ -91,14 +105,23 @@ void SequentialFaultSim::run(const std::vector<Fault>& faults,
     }
     if (group.empty()) break;
 
-    // Per-gate fault tables for this pass.
-    std::vector<SiteFaults> site(n);
-    std::vector<char> has_fault(n, 0);
+    // Per-gate fault tables for this pass (clearing only last pass's
+    // entries instead of reallocating the whole table).
+    for (std::size_t idx : faulted_gates) {
+      site[idx].stem_mask = 0;
+      site[idx].stem_value = 0;
+      site[idx].pins.clear();
+      has_fault[idx] = 0;
+    }
+    faulted_gates.clear();
     for (std::size_t m = 0; m < group.size(); ++m) {
       const Fault& f = faults[group[m]];
       const std::uint64_t machine_bit = 1ULL << (m + 1);
       auto& s = site[f.gate.index()];
-      has_fault[f.gate.index()] = 1;
+      if (!has_fault[f.gate.index()]) {
+        has_fault[f.gate.index()] = 1;
+        faulted_gates.push_back(f.gate.index());
+      }
       if (f.pin < 0) {
         s.stem_mask |= machine_bit;
         if (f.stuck_at) s.stem_value |= machine_bit;
@@ -107,14 +130,19 @@ void SequentialFaultSim::run(const std::vector<Fault>& faults,
       }
     }
 
-    std::vector<std::uint64_t> values(n, 0);
-    std::vector<std::uint64_t> state(dffs.size(), 0);
+    std::fill(state.begin(), state.end(), 0);
     std::uint64_t detected = 0;
 
     auto apply_site = [&](GateId id, std::uint64_t v) -> std::uint64_t {
       const SiteFaults& s = site[id.index()];
       v = (v & ~s.stem_mask) | (s.stem_value & s.stem_mask);
       const Gate& g = netlist_.gate(id);
+      if (g.kind == GateKind::kDff) {
+        // A DFF D-pin fault (uncollapsed lists only) changes what the
+        // flop *captures*, handled in the capture loop below; the Q
+        // value this cycle is the stored state, untouched by the pin.
+        return v;
+      }
       for (const auto& pf : s.pins) {
         v = (v & ~pf.machine_bit) |
             eval_gate_scalar(g, pf.machine_bit, values, pf.pin, pf.stuck_at);

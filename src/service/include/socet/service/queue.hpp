@@ -1,63 +1,12 @@
-// Bounded-by-nothing MPMC work queue: the hand-off between the batch
-// front-end (which enqueues every job up front) and the worker pool.
-// Standard mutex + condition-variable design; `close()` wakes every
-// blocked consumer once the producer is done so workers drain the tail
-// and exit.
+// The service's work queue is the shared util pool machinery (see
+// socet/util/pool.hpp); this header keeps the historical include path
+// and namespace alias for service-layer code and tests.
 #pragma once
 
-#include <condition_variable>
-#include <deque>
-#include <mutex>
-#include <optional>
-#include <utility>
+#include "socet/util/pool.hpp"
 
 namespace socet::service {
 
-template <typename T>
-class WorkQueue {
- public:
-  /// Enqueue one item.  Items pushed after close() are rejected.
-  bool push(T item) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_) return false;
-      items_.push_back(std::move(item));
-    }
-    ready_.notify_one();
-    return true;
-  }
-
-  /// Block until an item is available or the queue is closed and drained;
-  /// nullopt means "no more work, ever".
-  std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    return item;
-  }
-
-  /// No further pushes; blocked and future pops drain the queue then
-  /// return nullopt.
-  void close() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      closed_ = true;
-    }
-    ready_.notify_all();
-  }
-
-  [[nodiscard]] std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return items_.size();
-  }
-
- private:
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;
-  std::deque<T> items_;
-  bool closed_ = false;
-};
+using util::WorkQueue;
 
 }  // namespace socet::service

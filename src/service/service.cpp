@@ -5,7 +5,6 @@
 #include <chrono>
 #include <cstdio>
 #include <map>
-#include <thread>
 
 #include "socet/obs/journal.hpp"
 #include "socet/obs/metrics.hpp"
@@ -335,19 +334,13 @@ BatchReport PlanningService::run_lines(const std::vector<std::string>& lines) {
 
   const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
       options_.threads, std::max<std::size_t>(batch.size(), 1)));
-  if (workers <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned t = 0; t < workers; ++t) {
-      pool.emplace_back([&worker, t] {
-        obs::name_this_thread("worker-" + std::to_string(t + 1));
-        worker();
-      });
+  util::run_on_workers(workers, [&worker, workers](unsigned t) {
+    // Inline single-thread runs keep the caller's thread name.
+    if (workers > 1) {
+      obs::name_this_thread("worker-" + std::to_string(t + 1));
     }
-    for (auto& thread : pool) thread.join();
-  }
+    worker();
+  });
 
   report.wall_ms =
       microseconds_between(batch_start, Clock::now()) / 1000.0;

@@ -342,6 +342,18 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", table.to_text().c_str());
 
+  // Per-bench extra metrics (BenchReport::metric), e.g. the fault-sim
+  // kernel speedup inside `scaling`: one compact line per bench so the
+  // headline numbers are visible without opening the trajectory files.
+  for (const RunRecord& record : records) {
+    if (record.extra.empty()) continue;
+    std::printf("%s:", record.name.c_str());
+    for (const auto& [key, value] : record.extra) {
+      std::printf(" %s=%s", key.c_str(), util::Table::num(value, 2).c_str());
+    }
+    std::printf("\n");
+  }
+
   if (!options.update_baseline_path.empty()) {
     if (!write_file(options.update_baseline_path,
                     obs::bench::baseline_json(records))) {
