@@ -1,0 +1,175 @@
+// socet serve request latency and warm-cache throughput.
+//
+// Phase 1 measures per-request round-trip latency over loopback with a
+// serial client (one frame in flight): after a warm-up pass, 200
+// requests against a hot cache give the p50/p95 of the full
+// client-write -> poll loop -> worker -> response-read path.  Phase 2
+// replays a 64-job unique workload twice through one daemon: the first
+// pass executes every job (cold), the second is served from the shared
+// PlanCache (warm), and both passes must produce byte-identical
+// records.
+//
+// Gates are correctness-shaped, not timing-shaped (CI boxes are noisy):
+// every response ok, cold-vs-warm byte identity, zero cache misses on
+// the warm pass, and a clean drain.  The latencies and the warm speedup
+// ride along as metrics in the BENCH_serve_latency.json line.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "report.hpp"
+#include "socet/service/client.hpp"
+#include "socet/service/protocol.hpp"
+#include "socet/service/server.hpp"
+#include "socet/util/table.hpp"
+
+namespace {
+
+using namespace socet;
+using Clock = std::chrono::steady_clock;
+
+std::vector<std::string> unique_workload() {
+  std::vector<std::string> lines;
+  for (unsigned a = 1; a <= 3; ++a) {
+    for (unsigned b = 1; b <= 3; ++b) {
+      for (unsigned c = 1; c <= 3; ++c) {
+        lines.push_back("plan system=barcode selection=" + std::to_string(a) +
+                        "," + std::to_string(b) + "," + std::to_string(c));
+      }
+    }
+  }
+  for (unsigned budget = 0; budget <= 100; budget += 10) {
+    lines.push_back("optimize system=barcode area-budget=" +
+                    std::to_string(budget));
+    lines.push_back("optimize system=system2 area-budget=" +
+                    std::to_string(budget));
+  }
+  for (unsigned seed = 101; seed <= 120; ++seed) {
+    lines.push_back("plan system=synthetic:" + std::to_string(seed) + ":6");
+  }
+  lines.push_back("explore system=barcode");
+  lines.push_back("explore system=system2");
+  lines.push_back("parallel system=barcode");
+  lines.push_back("parallel system=system2");
+  lines.push_back("program system=barcode");
+  lines.push_back("program system=system2");
+  lines.resize(64);
+  return lines;
+}
+
+double quantile_us(std::vector<double> sorted_us, double q) {
+  std::sort(sorted_us.begin(), sorted_us.end());
+  const std::size_t index = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[index];
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchReport report("serve_latency");
+  bool ok = true;
+
+  service::ServerOptions options;
+  options.threads = 2;
+  service::Server server(std::move(options));
+  server.start();
+
+  // ---- phase 1: serial round-trip latency against a hot cache
+  const int fd = service::net_connect("127.0.0.1", server.port());
+  // Deliberately disjoint from the phase-2 workload, so that pass
+  // still starts fully cold.
+  const std::vector<std::string> hot = {
+      "plan system=synthetic:1:4",
+      "optimize system=barcode tat-budget=4000",
+      "plan system=system2",
+  };
+  for (const std::string& line : hot) {  // warm-up: populate the cache
+    service::write_frame(fd, line);
+    if (!service::read_frame(fd)) ok = false;
+  }
+  constexpr unsigned kRequests = 200;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(kRequests);
+  for (unsigned r = 0; r < kRequests && ok; ++r) {
+    const std::string& line = hot[r % hot.size()];
+    const auto start = Clock::now();
+    service::write_frame(fd, line);
+    const auto response = service::read_frame(fd);
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(Clock::now() - start)
+            .count());
+    if (!response || response->rfind("ok ", 0) != 0) ok = false;
+  }
+  ::close(fd);
+  const double p50_us = ok ? quantile_us(latencies_us, 0.5) : 0;
+  const double p95_us = ok ? quantile_us(latencies_us, 0.95) : 0;
+
+  // ---- phase 2: cold-vs-warm throughput through one shared cache
+  const auto workload = unique_workload();
+  const auto run_pass = [&](std::string* records, double* wall_ms) {
+    service::ClientOptions client_options;
+    client_options.port = server.port();
+    service::Client client(client_options);
+    const auto start = Clock::now();
+    const auto pass = client.run_lines(workload);
+    *wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    *records = pass.records_text();
+    return pass.errors == 0 && pass.busy == 0;
+  };
+  const auto before_cold = server.stats();
+  std::string cold_records;
+  std::string warm_records;
+  double cold_ms = 0;
+  double warm_ms = 0;
+  ok = run_pass(&cold_records, &cold_ms) && ok;
+  const auto before_warm = server.stats();
+  ok = run_pass(&warm_records, &warm_ms) && ok;
+  const auto after_warm = server.stats();
+
+  if (cold_records != warm_records) {
+    std::printf("FAIL: warm records differ from cold records\n");
+    ok = false;
+  }
+  const auto warm_misses = after_warm.cache.misses - before_warm.cache.misses;
+  if (warm_misses != 0) {
+    std::printf("FAIL: %llu cache misses on the warm pass\n",
+                static_cast<unsigned long long>(warm_misses));
+    ok = false;
+  }
+  if (before_warm.cache.misses - before_cold.cache.misses !=
+      workload.size()) {
+    std::printf("FAIL: cold pass did not miss on every unique job\n");
+    ok = false;
+  }
+
+  server.request_drain();
+  server.wait();
+
+  const double jobs = static_cast<double>(workload.size());
+  const double speedup = warm_ms > 0 ? cold_ms / warm_ms : 0;
+  util::Table table({"measure", "value"});
+  table.add_row({"p50 round-trip", util::Table::num(p50_us) + " us"});
+  table.add_row({"p95 round-trip", util::Table::num(p95_us) + " us"});
+  table.add_row({"cold pass", util::Table::num(cold_ms, 2) + " ms (" +
+                                  util::Table::num(jobs / cold_ms * 1000.0) +
+                                  " jobs/s)"});
+  table.add_row({"warm pass", util::Table::num(warm_ms, 2) + " ms (" +
+                                  util::Table::num(jobs / warm_ms * 1000.0) +
+                                  " jobs/s)"});
+  table.add_row({"warm speedup", util::Table::num(speedup, 2) + "x"});
+  std::printf("%s", table.to_text().c_str());
+
+  report.metric("p50_us", p50_us);
+  report.metric("p95_us", p95_us);
+  report.metric("cold_ms", cold_ms);
+  report.metric("warm_ms", warm_ms);
+  report.metric("warm_speedup", speedup);
+  return report.finish(ok);
+}

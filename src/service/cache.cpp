@@ -24,13 +24,21 @@ void PlanCache::insert(std::uint64_t key, Entry entry) {
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
+  bytes_ += entry_bytes(entry);
   lru_.emplace_front(key, std::move(entry));
   index_.emplace(key, lru_.begin());
   ++stats_.insertions;
-  if (lru_.size() > capacity_) {
+  // Entry-count bound and approximate-byte bound evict together from
+  // the LRU tail; the byte loop never evicts the entry it just
+  // admitted (size > 1 guard), so one oversized payload still caches.
+  while (lru_.size() > capacity_ ||
+         (max_bytes_ != 0 && bytes_ > max_bytes_ && lru_.size() > 1)) {
+    const std::size_t victim_bytes = entry_bytes(lru_.back().second);
     index_.erase(lru_.back().first);
     lru_.pop_back();
+    bytes_ -= victim_bytes;
     ++stats_.evictions;
+    stats_.evicted_bytes += victim_bytes;
   }
 }
 
@@ -42,6 +50,11 @@ CacheStats PlanCache::stats() const {
 std::size_t PlanCache::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return lru_.size();
+}
+
+std::size_t PlanCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
 }
 
 }  // namespace socet::service

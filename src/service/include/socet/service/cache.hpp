@@ -8,6 +8,14 @@
 // entry to the front, insertions evict from the back.  Capacity 0
 // disables caching (every lookup is a recorded miss) — the throughput
 // bench uses that to isolate worker-pool scaling from memoization.
+//
+// Two independent bounds govern eviction: an entry count (`capacity`)
+// and an approximate byte budget (`max_bytes`, 0 = unbounded).  The
+// byte bound is what keeps a long-running daemon (`socet serve`) from
+// growing without limit on a payload-heavy workload; bytes are
+// approximated as payload size plus a fixed per-entry overhead
+// (kEntryOverheadBytes covers the LRU node, index slot, and Entry
+// scalars).
 #pragma once
 
 #include <cstdint>
@@ -41,6 +49,10 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  /// Approximate bytes released by evictions (same accounting as
+  /// PlanCache::bytes); what a daemon operator watches to size
+  /// --cache-bytes.
+  std::uint64_t evicted_bytes = 0;
 
   [[nodiscard]] double hit_rate() const {
     const std::uint64_t lookups = hits + misses;
@@ -61,23 +73,41 @@ class PlanCache {
     unsigned overhead_cells = 0;
   };
 
-  explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
+  /// Fixed accounting overhead per cached entry on top of the payload
+  /// text: LRU list node, hash-map slot, key, and the Entry scalars.
+  static constexpr std::size_t kEntryOverheadBytes = 96;
+
+  /// Approximate resident size of one entry.
+  static std::size_t entry_bytes(const Entry& entry) {
+    return entry.payload.size() + kEntryOverheadBytes;
+  }
+
+  /// `capacity` bounds entries (0 disables caching entirely);
+  /// `max_bytes` additionally bounds approximate resident bytes
+  /// (0 = no byte bound).
+  explicit PlanCache(std::size_t capacity, std::size_t max_bytes = 0)
+      : capacity_(capacity), max_bytes_(max_bytes) {}
 
   std::optional<Entry> lookup(std::uint64_t key);
   void insert(std::uint64_t key, Entry entry);
 
   [[nodiscard]] CacheStats stats() const;
   [[nodiscard]] std::size_t size() const;
+  /// Approximate resident bytes across all entries.
+  [[nodiscard]] std::size_t bytes() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t max_bytes() const { return max_bytes_; }
 
  private:
   using LruList = std::list<std::pair<std::uint64_t, Entry>>;
 
   const std::size_t capacity_;
+  const std::size_t max_bytes_;
   mutable std::mutex mutex_;
   LruList lru_;  // front = most recently used
   std::unordered_map<std::uint64_t, LruList::iterator> index_;
   CacheStats stats_;
+  std::size_t bytes_ = 0;
 };
 
 }  // namespace socet::service

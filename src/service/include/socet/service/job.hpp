@@ -48,9 +48,11 @@ std::vector<unsigned> parse_selection_spec(const std::string& spec);
 /// Parse one job line, e.g.
 ///   plan system=barcode selection=1,2,3 pipelined
 ///   optimize system=system2 area-budget=100
-/// Throws util::Error with a message naming the offending token on
-/// malformed input.  `#` comments and blank lines are the *caller's*
-/// concern (see PlanningService::run_lines).
+/// Throws util::Error with a message naming the offending token *and*
+/// its 1-based column on malformed input — job lines also arrive over
+/// the serve protocol where there is no file/line context, so the
+/// reject message is all the client gets.  `#` comments and blank
+/// lines are the *caller's* concern (see PlanningService::run_lines).
 Job parse_job_line(const std::string& line);
 
 /// The normalized single-line rendering: verb first, then every

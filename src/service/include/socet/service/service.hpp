@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,10 @@ struct ServiceOptions {
   unsigned threads = 1;
   /// LRU entries; 0 disables memoization.
   std::size_t cache_capacity = 4096;
+  /// Approximate cache byte budget; 0 = unbounded (entry count still
+  /// applies).  What keeps a long-running `socet serve` from growing
+  /// without limit.
+  std::size_t cache_bytes = 0;
 };
 
 /// One finished job.  `record` is the deterministic line the CLI prints
@@ -60,6 +65,33 @@ struct BatchReport {
   /// All result records, one per line — exactly what `socet batch`
   /// prints to stdout.
   [[nodiscard]] std::string records_text() const;
+};
+
+/// One worker's execution context: a private system table (each thread
+/// materializes the systems its jobs name exactly once; no System is
+/// ever shared across threads) over a shared PlanCache.  Both the batch
+/// worker pool and the serve daemon's request workers run every job
+/// through run_line — one execution path is what makes `socet client`
+/// responses byte-identical to one-shot `socet batch` records.
+class Executor {
+ public:
+  explicit Executor(PlanCache& cache);
+  ~Executor();
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Parse and execute one job line.  The returned JobResult's `record`
+  /// is the label-free record *body* — `ok <verb> <payload>` or
+  /// `error <message>` — callers prepend their own framing
+  /// ("job <n> ").  `ordinal` tags the journal events (batch: 1-based
+  /// batch index; serve: global request number).  queue_us/wall_us are
+  /// left zero; timing belongs to the caller.
+  JobResult run_line(const std::string& line, std::uint64_t ordinal);
+
+ private:
+  struct Systems;  // thread-local system table (service.cpp)
+  PlanCache& cache_;
+  std::unique_ptr<Systems> systems_;
 };
 
 class PlanningService {

@@ -1,14 +1,57 @@
 #include "socet/service/job.hpp"
 
+#include <cctype>
 #include <charconv>
 #include <cstdio>
-#include <sstream>
 
 #include "socet/util/error.hpp"
 
 namespace socet::service {
 
 namespace {
+
+/// One whitespace-delimited token of a job line plus the 1-based column
+/// it starts at, so parse errors can point at the offending spot —
+/// essential once job lines arrive over a socket with no surrounding
+/// file/line context.
+struct LineToken {
+  std::string text;
+  std::size_t column = 0;  ///< 1-based offset of the first character
+};
+
+std::vector<LineToken> tokenize(const std::string& line) {
+  std::vector<LineToken> tokens;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+    if (pos >= line.size()) break;
+    const std::size_t start = pos;
+    while (pos < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+    tokens.push_back({line.substr(start, pos - start), start + 1});
+  }
+  return tokens;
+}
+
+[[noreturn]] void fail_at(const std::string& message, std::size_t column) {
+  util::raise(message + " (column " + std::to_string(column) + ")");
+}
+
+/// Run an option-value parser and re-raise its error with the option
+/// token's column attached.
+template <typename F>
+auto at_column(std::size_t column, F&& parse) {
+  try {
+    return parse();
+  } catch (const util::Error& error) {
+    fail_at(error.what(), column);
+  }
+}
 
 unsigned long long parse_count(const std::string& token,
                                const std::string& what) {
@@ -74,30 +117,33 @@ std::vector<unsigned> parse_selection_spec(const std::string& spec) {
 }
 
 Job parse_job_line(const std::string& line) {
-  std::istringstream stream(line);
-  std::string token;
-  util::require(static_cast<bool>(stream >> token), "empty job line");
+  const auto tokens = tokenize(line);
+  util::require(!tokens.empty(), "empty job line");
 
   Job job;
-  if (token == "plan") {
+  const std::string& verb = tokens.front().text;
+  if (verb == "plan") {
     job.verb = Verb::kPlan;
-  } else if (token == "optimize") {
+  } else if (verb == "optimize") {
     job.verb = Verb::kOptimize;
-  } else if (token == "explore") {
+  } else if (verb == "explore") {
     job.verb = Verb::kExplore;
-  } else if (token == "parallel") {
+  } else if (verb == "parallel") {
     job.verb = Verb::kParallel;
-  } else if (token == "program") {
+  } else if (verb == "program") {
     job.verb = Verb::kProgram;
   } else {
-    util::raise("unknown verb '" + token +
-                "' (want plan|optimize|explore|parallel|program)");
+    fail_at("unknown verb '" + verb +
+                "' (want plan|optimize|explore|parallel|program)",
+            tokens.front().column);
   }
 
   const bool takes_selection = job.verb == Verb::kPlan ||
                                job.verb == Verb::kParallel ||
                                job.verb == Verb::kProgram;
-  while (stream >> token) {
+  for (std::size_t t = 1; t < tokens.size(); ++t) {
+    const std::string& token = tokens[t].text;
+    const std::size_t column = tokens[t].column;
     const auto eq = token.find('=');
     const std::string key = token.substr(0, eq);
     const std::string value =
@@ -105,41 +151,54 @@ Job parse_job_line(const std::string& line) {
     const bool has_value = eq != std::string::npos;
 
     if (key == "system" && has_value) {
-      util::require(!value.empty(), "empty system name");
+      if (value.empty()) fail_at("empty system name", column);
       job.system = value;
     } else if (key == "selection" && has_value) {
-      util::require(takes_selection, std::string("'selection' does not apply"
-                                                 " to verb ") +
-                                         verb_name(job.verb));
-      job.selection = parse_selection_spec(value);
+      if (!takes_selection) {
+        fail_at(std::string("'selection' does not apply to verb ") +
+                    verb_name(job.verb),
+                column);
+      }
+      job.selection =
+          at_column(column, [&] { return parse_selection_spec(value); });
     } else if (key == "pipelined" && !has_value) {
-      util::require(job.verb == Verb::kPlan,
-                    "'pipelined' only applies to verb plan");
+      if (job.verb != Verb::kPlan) {
+        fail_at("'pipelined' only applies to verb plan", column);
+      }
       job.pipelined = true;
     } else if (key == "area-budget" && has_value) {
-      util::require(job.verb == Verb::kOptimize,
-                    "'area-budget' only applies to verb optimize");
-      util::require(job.objective == Job::Objective::kNone,
-                    "optimize takes exactly one objective");
+      if (job.verb != Verb::kOptimize) {
+        fail_at("'area-budget' only applies to verb optimize", column);
+      }
+      if (job.objective != Job::Objective::kNone) {
+        fail_at("optimize takes exactly one objective", column);
+      }
       job.objective = Job::Objective::kAreaBudget;
-      job.area_budget = static_cast<unsigned>(parse_count(value, key));
+      job.area_budget = static_cast<unsigned>(
+          at_column(column, [&] { return parse_count(value, key); }));
     } else if (key == "tat-budget" && has_value) {
-      util::require(job.verb == Verb::kOptimize,
-                    "'tat-budget' only applies to verb optimize");
-      util::require(job.objective == Job::Objective::kNone,
-                    "optimize takes exactly one objective");
+      if (job.verb != Verb::kOptimize) {
+        fail_at("'tat-budget' only applies to verb optimize", column);
+      }
+      if (job.objective != Job::Objective::kNone) {
+        fail_at("optimize takes exactly one objective", column);
+      }
       job.objective = Job::Objective::kTatBudget;
-      job.tat_budget = parse_count(value, key);
+      job.tat_budget =
+          at_column(column, [&] { return parse_count(value, key); });
     } else if ((key == "w1" || key == "w2") && has_value) {
-      util::require(job.verb == Verb::kOptimize,
-                    "'" + key + "' only applies to verb optimize");
-      util::require(job.objective == Job::Objective::kNone ||
-                        job.objective == Job::Objective::kWeighted,
-                    "optimize takes exactly one objective");
+      if (job.verb != Verb::kOptimize) {
+        fail_at("'" + key + "' only applies to verb optimize", column);
+      }
+      if (job.objective != Job::Objective::kNone &&
+          job.objective != Job::Objective::kWeighted) {
+        fail_at("optimize takes exactly one objective", column);
+      }
       job.objective = Job::Objective::kWeighted;
-      (key == "w1" ? job.w1 : job.w2) = parse_weight(value, key);
+      (key == "w1" ? job.w1 : job.w2) =
+          at_column(column, [&] { return parse_weight(value, key); });
     } else {
-      util::raise("bad job option '" + token + "'");
+      fail_at("bad job option '" + token + "'", column);
     }
   }
 

@@ -1,0 +1,583 @@
+#include "socet/service/server.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "socet/obs/journal.hpp"
+#include "socet/obs/metrics.hpp"
+#include "socet/obs/trace.hpp"
+#include "socet/service/protocol.hpp"
+#include "socet/service/queue.hpp"
+#include "socet/service/service.hpp"
+#include "socet/util/error.hpp"
+
+namespace socet::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Signal plumbing: the handler may only touch async-signal-safe state,
+/// so it sets a pre-registered atomic flag and writes one byte to the
+/// server's wake pipe.  One server per process (the CLI's case).
+std::atomic<int> g_signal_wake_fd{-1};
+std::atomic<bool>* g_signal_drain_flag = nullptr;
+
+void on_drain_signal(int) {
+  if (g_signal_drain_flag != nullptr) {
+    g_signal_drain_flag->store(true, std::memory_order_release);
+  }
+  const int fd = g_signal_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 'S';
+    [[maybe_unused]] const ssize_t rc = ::write(fd, &byte, 1);
+  }
+}
+
+std::string first_token(const std::string& line) {
+  const auto first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const auto end = line.find_first_of(" \t\r", first);
+  return line.substr(first,
+                     end == std::string::npos ? std::string::npos
+                                              : end - first);
+}
+
+}  // namespace
+
+std::string ServerStats::text() const {
+  std::string text;
+  const auto field = [&text](const char* key, std::uint64_t value) {
+    if (!text.empty()) text += ' ';
+    text += key;
+    text += '=';
+    text += std::to_string(value);
+  };
+  field("workers", workers);
+  field("connections", connections_open);
+  field("accepted", connections_accepted);
+  field("requests", requests);
+  field("responses", responses);
+  field("errors", errors);
+  field("busy", busy_rejects);
+  field("bad_frames", bad_frames);
+  field("queue_depth", queue_depth);
+  field("inflight", inflight);
+  field("draining", draining ? 1 : 0);
+  field("cache_hits", cache.hits);
+  field("cache_misses", cache.misses);
+  field("cache_insertions", cache.insertions);
+  field("cache_evictions", cache.evictions);
+  field("cache_evicted_bytes", cache.evicted_bytes);
+  field("cache_entries", cache_entries);
+  field("cache_bytes", cache_bytes);
+  return text;
+}
+
+struct Server::Impl {
+  /// One connection's state machine, owned by the event loop; workers
+  /// only ever hold a shared_ptr to route their completion back.
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    FrameReader reader;
+    std::string out;           ///< encoded, unsent response bytes
+    std::size_t out_off = 0;   ///< already-written prefix of `out`
+    struct Slot {
+      std::uint64_t id = 0;
+      bool done = false;
+      std::string body;
+    };
+    std::deque<Slot> slots;  ///< FIFO: responses flush in request order
+    std::uint64_t next_slot_id = 1;
+    bool peer_eof = false;  ///< no more requests will arrive
+    bool fatal = false;     ///< close after the pending flush (bad frame)
+    bool dead = false;      ///< closed and removed from the map
+  };
+
+  struct Task {
+    std::shared_ptr<Conn> conn;
+    std::uint64_t slot_id = 0;
+    std::uint64_t ordinal = 0;
+    std::string line;
+  };
+
+  struct Completion {
+    std::shared_ptr<Conn> conn;
+    std::uint64_t slot_id = 0;
+    std::string body;
+  };
+
+  explicit Impl(ServerOptions opts)
+      : options(std::move(opts)),
+        cache(options.cache_capacity, options.cache_bytes) {}
+
+  ServerOptions options;
+  PlanCache cache;
+  int listen_fd = -1;
+  unsigned short bound_port = 0;
+  int wake_r = -1;
+  int wake_w = -1;
+  std::thread loop_thread;
+  std::vector<std::thread> workers;
+  bool started = false;
+  bool joined = false;
+
+  WorkQueue<Task> queue;
+  std::mutex completions_mutex;
+  std::vector<Completion> completions;
+
+  // Event-loop-private state.
+  std::unordered_map<int, std::shared_ptr<Conn>> conns;
+  std::uint64_t next_conn_id = 1;
+  std::uint64_t next_ordinal = 1;
+
+  // Counters shared between the loop, workers, and external stats().
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> responses{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> busy_rejects{0};
+  std::atomic<std::uint64_t> bad_frames{0};
+  std::atomic<std::uint64_t> queue_depth{0};
+  std::atomic<std::uint64_t> inflight{0};
+  std::atomic<std::uint64_t> open_conns{0};
+  std::atomic<bool> draining{false};
+  std::atomic<bool> drain_requested{false};
+
+  // ---------------------------------------------------------------- workers
+
+  void worker_main(unsigned index) {
+    obs::name_this_thread("serve-worker-" + std::to_string(index + 1));
+    Executor executor(cache);
+    while (auto task = queue.pop()) {
+      queue_depth.fetch_sub(1, std::memory_order_relaxed);
+      inflight.fetch_add(1, std::memory_order_relaxed);
+      if (options.before_execute) options.before_execute(task->line);
+      const auto start = Clock::now();
+      std::string body;
+      {
+        SOCET_SPAN("serve/job");
+        obs::JournalScope journal_scope("req-" +
+                                        std::to_string(task->ordinal));
+        JobResult result = executor.run_line(task->line, task->ordinal);
+        if (!result.ok) errors.fetch_add(1, std::memory_order_relaxed);
+        body = std::move(result.record);
+      }
+      const double request_us =
+          std::chrono::duration<double, std::micro>(Clock::now() - start)
+              .count();
+      SOCET_HISTOGRAM("serve/request_us", request_us);
+      responses.fetch_add(1, std::memory_order_relaxed);
+      inflight.fetch_sub(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(completions_mutex);
+        completions.push_back(
+            {std::move(task->conn), task->slot_id, std::move(body)});
+      }
+      wake();
+    }
+  }
+
+  void wake() {
+    const char byte = 'C';
+    [[maybe_unused]] const ssize_t rc = ::write(wake_w, &byte, 1);
+    // A full pipe is fine: the loop drains it and rescans everything.
+  }
+
+  // -------------------------------------------------------------- the loop
+
+  [[nodiscard]] bool can_read(const Conn& conn) const {
+    return !conn.fatal && !conn.peer_eof && !conn.dead &&
+           conn.slots.size() < options.client_window &&
+           conn.out.size() - conn.out_off < options.max_buffered_bytes;
+  }
+
+  void loop_main() {
+    obs::name_this_thread("serve-loop");
+    std::vector<pollfd> pfds;
+    std::vector<std::shared_ptr<Conn>> polled;
+    while (true) {
+      if (drain_requested.load(std::memory_order_acquire) &&
+          !draining.load(std::memory_order_relaxed)) {
+        begin_drain();
+        // Close already-idle connections immediately: they produce no
+        // poll events, so waiting for one would block the drain.
+        close_idle_conns();
+      }
+      if (draining.load(std::memory_order_relaxed) && conns.empty()) break;
+
+      pfds.clear();
+      polled.clear();
+      pfds.push_back({wake_r, POLLIN, 0});
+      const bool poll_listen =
+          listen_fd >= 0 && !draining.load(std::memory_order_relaxed);
+      if (poll_listen) pfds.push_back({listen_fd, POLLIN, 0});
+      const std::size_t conn_base = pfds.size();
+      for (auto& [fd, conn] : conns) {
+        short events = 0;
+        if (can_read(*conn)) events |= POLLIN;
+        if (conn->out_off < conn->out.size()) events |= POLLOUT;
+        pfds.push_back({fd, events, 0});
+        polled.push_back(conn);
+      }
+
+      const int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), -1);
+      if (rc < 0 && errno != EINTR) break;  // unrecoverable poll failure
+      if (rc < 0) continue;                 // EINTR: rescan (drain signal)
+
+      if ((pfds[0].revents & POLLIN) != 0) drain_wake_pipe();
+      apply_completions();
+      if (poll_listen && (pfds[1].revents & POLLIN) != 0) accept_all();
+
+      for (std::size_t c = 0; c < polled.size(); ++c) {
+        const auto& conn = polled[c];
+        if (conn->dead) continue;
+        const short revents = pfds[conn_base + c].revents;
+        if ((revents & POLLOUT) != 0) {
+          try_write(conn);
+          if (!conn->dead) pump(conn);  // freed write budget may unblock reads
+        }
+        if (!conn->dead && (revents & POLLIN) != 0) handle_read(conn);
+        if (!conn->dead && (revents & (POLLERR | POLLNVAL)) != 0) {
+          close_conn(conn);
+        }
+        if (!conn->dead) maybe_close(conn);
+      }
+      if (draining.load(std::memory_order_relaxed)) close_idle_conns();
+    }
+  }
+
+  /// During a drain, connections that owe nothing (no pending slots,
+  /// output flushed) are closed so the loop can terminate even with
+  /// clients still attached.
+  void close_idle_conns() {
+    std::vector<std::shared_ptr<Conn>> snapshot;
+    snapshot.reserve(conns.size());
+    for (auto& [fd, conn] : conns) snapshot.push_back(conn);
+    for (const auto& conn : snapshot) maybe_close(conn);
+  }
+
+  void begin_drain() {
+    draining.store(true, std::memory_order_relaxed);
+    if (listen_fd >= 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+    // Workers finish every admitted job (close() drains the tail), then
+    // exit; new jobs are answered `busy draining` before reaching the
+    // queue.
+    queue.close();
+    SOCET_EVENT("serve/drain", {"conns", conns.size()},
+                {"queued", queue_depth.load(std::memory_order_relaxed)});
+  }
+
+  void drain_wake_pipe() {
+    char buffer[256];
+    while (true) {
+      const ssize_t r = ::read(wake_r, buffer, sizeof(buffer));
+      if (r <= 0) break;
+    }
+  }
+
+  void apply_completions() {
+    std::vector<Completion> batch;
+    {
+      std::lock_guard<std::mutex> lock(completions_mutex);
+      batch.swap(completions);
+    }
+    for (auto& completion : batch) {
+      const auto& conn = completion.conn;
+      if (conn->dead) continue;  // client vanished mid-job: drop result
+      for (auto& slot : conn->slots) {
+        if (slot.id == completion.slot_id) {
+          slot.done = true;
+          slot.body = std::move(completion.body);
+          break;
+        }
+      }
+      pump(conn);
+      if (!conn->dead) maybe_close(conn);
+    }
+  }
+
+  void accept_all() {
+    while (true) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) break;
+      set_nonblocking(fd);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto conn = std::make_shared<Conn>();
+      conn->fd = fd;
+      conn->id = next_conn_id++;
+      conns.emplace(fd, conn);
+      accepted.fetch_add(1, std::memory_order_relaxed);
+      open_conns.fetch_add(1, std::memory_order_relaxed);
+      SOCET_COUNT("serve/connections");
+      SOCET_EVENT("serve/conn", {"conn", conn->id}, {"event", "accept"});
+    }
+  }
+
+  void handle_read(const std::shared_ptr<Conn>& conn) {
+    char buffer[16384];
+    while (can_read(*conn)) {
+      const ssize_t r = ::read(conn->fd, buffer, sizeof(buffer));
+      if (r > 0) {
+        conn->reader.feed(buffer, static_cast<std::size_t>(r));
+        pump(conn);
+        if (r < static_cast<ssize_t>(sizeof(buffer))) break;
+      } else if (r == 0) {
+        conn->peer_eof = true;  // half-close: still flush pending work
+        break;
+      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      } else if (errno == EINTR) {
+        continue;
+      } else {
+        close_conn(conn);  // ECONNRESET and friends: client is gone
+        return;
+      }
+    }
+  }
+
+  /// Decode and dispatch as many buffered frames as flow control
+  /// allows, then surface a protocol error (oversized frame) and flush.
+  void pump(const std::shared_ptr<Conn>& conn) {
+    while (can_read_frames(*conn)) {
+      auto payload = conn->reader.next();
+      if (!payload) break;
+      dispatch(conn, *payload);
+    }
+    if (conn->reader.overflowed() && !conn->fatal) {
+      bad_frames.fetch_add(1, std::memory_order_relaxed);
+      SOCET_COUNT("serve/bad_frames");
+      SOCET_EVENT("serve/frame", {"conn", conn->id}, {"event", "oversized"},
+                  {"announced", conn->reader.announced()});
+      add_done_slot(conn,
+                    "error oversized frame: announced " +
+                        std::to_string(conn->reader.announced()) +
+                        " bytes (limit " + std::to_string(kMaxFrameBytes) +
+                        ")");
+      conn->fatal = true;  // close once everything pending has flushed
+    }
+    flush_ready(conn);
+    try_write(conn);
+  }
+
+  /// Like can_read, but without the peer_eof guard: frames already
+  /// buffered before a half-close still execute.
+  [[nodiscard]] bool can_read_frames(const Conn& conn) const {
+    return !conn.fatal && !conn.dead &&
+           conn.slots.size() < options.client_window &&
+           conn.out.size() - conn.out_off < options.max_buffered_bytes;
+  }
+
+  void add_done_slot(const std::shared_ptr<Conn>& conn, std::string body) {
+    conn->slots.push_back({conn->next_slot_id++, true, std::move(body)});
+  }
+
+  void dispatch(const std::shared_ptr<Conn>& conn, const std::string& line) {
+    const std::string verb = first_token(line);
+    if (verb == "stats") {
+      add_done_slot(conn, "ok stats " + snapshot().text());
+      return;
+    }
+    if (verb == "health") {
+      add_done_slot(conn, std::string("ok health ") +
+                              (draining.load(std::memory_order_relaxed)
+                                   ? "draining"
+                                   : "serving"));
+      return;
+    }
+    if (draining.load(std::memory_order_relaxed)) {
+      busy_rejects.fetch_add(1, std::memory_order_relaxed);
+      SOCET_COUNT("serve/busy_rejects");
+      SOCET_EVENT("serve/busy", {"conn", conn->id}, {"why", "draining"});
+      add_done_slot(conn, "busy draining");
+      return;
+    }
+    const std::uint64_t depth = queue_depth.load(std::memory_order_relaxed);
+    if (depth >= options.max_queue) {
+      busy_rejects.fetch_add(1, std::memory_order_relaxed);
+      SOCET_COUNT("serve/busy_rejects");
+      SOCET_EVENT("serve/busy", {"conn", conn->id}, {"why", "queue_full"},
+                  {"queue", depth}, {"limit", options.max_queue});
+      add_done_slot(conn, "busy queue=" + std::to_string(depth) +
+                              " limit=" +
+                              std::to_string(options.max_queue));
+      return;
+    }
+    requests.fetch_add(1, std::memory_order_relaxed);
+    SOCET_COUNT("serve/requests");
+    queue_depth.fetch_add(1, std::memory_order_relaxed);
+    SOCET_GAUGE_MAX("serve/queue_depth", depth + 1);
+    const std::uint64_t slot_id = conn->next_slot_id++;
+    conn->slots.push_back({slot_id, false, {}});
+    queue.push({conn, slot_id, next_ordinal++, line});
+  }
+
+  void flush_ready(const std::shared_ptr<Conn>& conn) {
+    while (!conn->slots.empty() && conn->slots.front().done) {
+      conn->out += encode_frame(conn->slots.front().body);
+      conn->slots.pop_front();
+    }
+  }
+
+  void try_write(const std::shared_ptr<Conn>& conn) {
+    while (conn->out_off < conn->out.size()) {
+      const ssize_t w = ::write(conn->fd, conn->out.data() + conn->out_off,
+                                conn->out.size() - conn->out_off);
+      if (w > 0) {
+        conn->out_off += static_cast<std::size_t>(w);
+      } else if (errno == EINTR) {
+        continue;
+      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      } else {
+        close_conn(conn);  // EPIPE etc: client stopped reading for good
+        return;
+      }
+    }
+    if (conn->out_off == conn->out.size()) {
+      conn->out.clear();
+      conn->out_off = 0;
+    } else if (conn->out_off > 65536) {
+      conn->out.erase(0, conn->out_off);
+      conn->out_off = 0;
+    }
+  }
+
+  void maybe_close(const std::shared_ptr<Conn>& conn) {
+    const bool flushed = conn->out_off >= conn->out.size();
+    const bool idle = conn->slots.empty() && flushed;
+    if (!idle) return;
+    if (conn->fatal || conn->peer_eof ||
+        draining.load(std::memory_order_relaxed)) {
+      close_conn(conn);
+    }
+  }
+
+  void close_conn(const std::shared_ptr<Conn>& conn) {
+    if (conn->dead) return;
+    conn->dead = true;
+    ::close(conn->fd);
+    conns.erase(conn->fd);
+    open_conns.fetch_sub(1, std::memory_order_relaxed);
+    SOCET_EVENT("serve/conn", {"conn", conn->id}, {"event", "close"});
+  }
+
+  [[nodiscard]] ServerStats snapshot() const {
+    ServerStats stats;
+    stats.connections_accepted = accepted.load(std::memory_order_relaxed);
+    stats.connections_open = open_conns.load(std::memory_order_relaxed);
+    stats.requests = requests.load(std::memory_order_relaxed);
+    stats.responses = responses.load(std::memory_order_relaxed);
+    stats.errors = errors.load(std::memory_order_relaxed);
+    stats.busy_rejects = busy_rejects.load(std::memory_order_relaxed);
+    stats.bad_frames = bad_frames.load(std::memory_order_relaxed);
+    stats.queue_depth = queue_depth.load(std::memory_order_relaxed);
+    stats.inflight = inflight.load(std::memory_order_relaxed);
+    stats.workers = options.threads;
+    stats.draining = draining.load(std::memory_order_relaxed);
+    stats.cache = cache.stats();
+    stats.cache_entries = cache.size();
+    stats.cache_bytes = cache.bytes();
+    return stats;
+  }
+};
+
+Server::Server(ServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Server::~Server() {
+  if (impl_->started && !impl_->joined) {
+    request_drain();
+    wait();
+  }
+  if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
+  if (impl_->wake_r >= 0) ::close(impl_->wake_r);
+  if (impl_->wake_w >= 0) ::close(impl_->wake_w);
+}
+
+void Server::start() {
+  util::require(!impl_->started, "server already started");
+  util::require(impl_->options.threads >= 1,
+                "serve needs at least one worker thread");
+  util::require(impl_->options.client_window >= 1,
+                "--window must be at least 1");
+  util::require(impl_->options.max_queue >= 1,
+                "--max-queue must be at least 1");
+  impl_->listen_fd = net_listen(impl_->options.host, impl_->options.port);
+  impl_->bound_port = local_port(impl_->listen_fd);
+  int pipe_fds[2];
+  util::require(::pipe(pipe_fds) == 0, "cannot create the wake pipe");
+  impl_->wake_r = pipe_fds[0];
+  impl_->wake_w = pipe_fds[1];
+  set_nonblocking(impl_->wake_r);
+  set_nonblocking(impl_->wake_w);
+  if (!impl_->options.port_file.empty()) {
+    std::ofstream file(impl_->options.port_file);
+    file << impl_->bound_port << "\n";
+    util::require(file.good(), "cannot write port file '" +
+                                   impl_->options.port_file + "'");
+  }
+  impl_->workers.reserve(impl_->options.threads);
+  for (unsigned t = 0; t < impl_->options.threads; ++t) {
+    impl_->workers.emplace_back([this, t] { impl_->worker_main(t); });
+  }
+  impl_->loop_thread = std::thread([this] { impl_->loop_main(); });
+  impl_->started = true;
+}
+
+unsigned short Server::port() const { return impl_->bound_port; }
+
+void Server::request_drain() {
+  impl_->drain_requested.store(true, std::memory_order_release);
+  if (impl_->started) impl_->wake();
+}
+
+void Server::wait() {
+  if (!impl_->started || impl_->joined) return;
+  impl_->loop_thread.join();
+  for (auto& worker : impl_->workers) worker.join();
+  impl_->joined = true;
+}
+
+ServerStats Server::stats() const { return impl_->snapshot(); }
+
+void Server::install_signal_handlers() {
+  util::require(impl_->started,
+                "install_signal_handlers needs a started server");
+  g_signal_drain_flag = &impl_->drain_requested;
+  g_signal_wake_fd.store(impl_->wake_w, std::memory_order_relaxed);
+  struct sigaction action = {};
+  action.sa_handler = on_drain_signal;
+  ::sigemptyset(&action.sa_mask);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+}
+
+}  // namespace socet::service

@@ -214,19 +214,11 @@ PlanCache::Entry execute_job(const Job& job, SystemTable& systems) {
   return entry;
 }
 
-/// A job either parsed cleanly or carries its parse error into the batch
-/// as a pre-failed slot (isolation: the rest of the batch still runs).
-struct Submitted {
-  Job job;
-  std::string parse_error;
-
-  [[nodiscard]] bool parsed() const { return parse_error.empty(); }
-};
-
 CacheStats stats_delta(const CacheStats& before, const CacheStats& after) {
   return {after.hits - before.hits, after.misses - before.misses,
           after.insertions - before.insertions,
-          after.evictions - before.evictions};
+          after.evictions - before.evictions,
+          after.evicted_bytes - before.evicted_bytes};
 }
 
 }  // namespace
@@ -236,8 +228,57 @@ std::uint64_t job_key(const Job& job) {
   return fnv1a(soc::plan_options_key(plan_options_for(job)), canonical);
 }
 
+struct Executor::Systems : SystemTable {};
+
+Executor::Executor(PlanCache& cache)
+    : cache_(cache), systems_(std::make_unique<Systems>()) {}
+
+Executor::~Executor() = default;
+
+JobResult Executor::run_line(const std::string& line, std::uint64_t ordinal) {
+  JobResult result;
+  Job job;
+  try {
+    job = parse_job_line(line);
+  } catch (const std::exception& error) {
+    result.record = std::string("error ") + error.what();
+    SOCET_EVENT("service/job", {"job", ordinal},
+                {"outcome", "parse_error"}, {"error", error.what()});
+    return result;
+  }
+  result.key = job_key(job);
+  try {
+    PlanCache::Entry entry;
+    if (auto cached = cache_.lookup(result.key)) {
+      entry = std::move(*cached);
+      result.cache_hit = true;
+    } else {
+      entry = execute_job(job, *systems_);
+      cache_.insert(result.key, entry);
+    }
+    char key_hex[20];
+    std::snprintf(key_hex, sizeof(key_hex), "%016llx",
+                  static_cast<unsigned long long>(result.key));
+    SOCET_EVENT("service/job", {"job", ordinal},
+                {"verb", verb_name(job.verb)}, {"system", job.system},
+                {"cache", result.cache_hit ? "hit" : "miss"},
+                {"key", key_hex});
+    result.ok = true;
+    result.tat = entry.tat;
+    result.overhead_cells = entry.overhead_cells;
+    result.record =
+        std::string("ok ") + verb_name(job.verb) + " " + entry.payload;
+  } catch (const std::exception& error) {
+    result.record = std::string("error ") + error.what();
+    SOCET_EVENT("service/job", {"job", ordinal},
+                {"verb", verb_name(job.verb)}, {"system", job.system},
+                {"outcome", "error"}, {"error", error.what()});
+  }
+  return result;
+}
+
 PlanningService::PlanningService(ServiceOptions options)
-    : options_(options), cache_(options.cache_capacity) {
+    : options_(options), cache_(options.cache_capacity, options.cache_bytes) {
   util::require(options_.threads >= 1, "service needs at least one thread");
 }
 
@@ -250,17 +291,11 @@ BatchReport PlanningService::run(const std::vector<Job>& jobs) {
 
 BatchReport PlanningService::run_lines(const std::vector<std::string>& lines) {
   SOCET_SPAN("service/batch");
-  std::vector<Submitted> batch;
+  std::vector<std::string> batch;
   for (const std::string& line : lines) {
     const auto first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos || line[first] == '#') continue;
-    Submitted submitted;
-    try {
-      submitted.job = parse_job_line(line);
-    } catch (const std::exception& error) {
-      submitted.parse_error = error.what();
-    }
-    batch.push_back(std::move(submitted));
+    batch.push_back(line);
   }
 
   BatchReport report;
@@ -280,55 +315,21 @@ BatchReport PlanningService::run_lines(const std::vector<std::string>& lines) {
   SOCET_GAUGE_MAX("service/queue_depth", queue.size());
 
   const auto worker = [&] {
-    SystemTable systems;
+    Executor executor(cache_);
     while (auto item = queue.pop()) {
       SOCET_SPAN("service/job");
       SOCET_RESOURCE_SCOPE("service/job");
       const std::size_t i = item->index;
       const auto start = Clock::now();
-      JobResult& result = report.results[i];
-      result.index = i;
-      result.queue_us = microseconds_between(item->enqueued, start);
-      const std::string label = "job " + std::to_string(i + 1);
       // Correlate every decision event recorded while this job runs
       // (routes, optimizer moves, ...) with the job's batch index.
       obs::JournalScope journal_scope("job-" + std::to_string(i + 1));
-      if (!batch[i].parsed()) {
-        result.record = label + " error " + batch[i].parse_error;
-        SOCET_EVENT("service/job", {"job", i + 1}, {"outcome", "parse_error"},
-                    {"error", batch[i].parse_error});
-      } else {
-        const Job& job = batch[i].job;
-        result.key = job_key(job);
-        try {
-          PlanCache::Entry entry;
-          if (auto cached = cache_.lookup(result.key)) {
-            entry = std::move(*cached);
-            result.cache_hit = true;
-          } else {
-            entry = execute_job(job, systems);
-            cache_.insert(result.key, entry);
-          }
-          char key_hex[20];
-          std::snprintf(key_hex, sizeof(key_hex), "%016llx",
-                        static_cast<unsigned long long>(result.key));
-          SOCET_EVENT("service/job", {"job", i + 1},
-                      {"verb", verb_name(job.verb)}, {"system", job.system},
-                      {"cache", result.cache_hit ? "hit" : "miss"},
-                      {"key", key_hex});
-          result.ok = true;
-          result.tat = entry.tat;
-          result.overhead_cells = entry.overhead_cells;
-          result.record =
-              label + " ok " + verb_name(job.verb) + " " + entry.payload;
-        } catch (const std::exception& error) {
-          result.record = label + " error " + error.what();
-          SOCET_EVENT("service/job", {"job", i + 1},
-                      {"verb", verb_name(job.verb)}, {"system", job.system},
-                      {"outcome", "error"}, {"error", error.what()});
-        }
-      }
+      JobResult result = executor.run_line(batch[i], i + 1);
+      result.index = i;
+      result.queue_us = microseconds_between(item->enqueued, start);
+      result.record = "job " + std::to_string(i + 1) + " " + result.record;
       result.wall_us = microseconds_between(start, Clock::now());
+      report.results[i] = std::move(result);
     }
   };
 

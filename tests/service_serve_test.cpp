@@ -1,0 +1,502 @@
+// The socet serve daemon: framing, the byte-bounded cache, multi-client
+// byte-identity against the in-process batch service, protocol-error
+// isolation, admission control under a saturated queue, graceful drain,
+// and CLI round-trips through the real `socet` binary.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "socet/service/cache.hpp"
+#include "socet/service/client.hpp"
+#include "socet/service/protocol.hpp"
+#include "socet/service/server.hpp"
+#include "socet/service/service.hpp"
+#include "socet/util/error.hpp"
+
+namespace socet {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ----------------------------------------------------------------- framing
+
+TEST(FrameReader, ReassemblesFramesAcrossArbitrarySplits) {
+  const std::string wire = service::encode_frame("plan system=barcode") +
+                           service::encode_frame("") +
+                           service::encode_frame("stats");
+  // Feed one byte at a time: every header/payload boundary is crossed.
+  service::FrameReader reader;
+  std::vector<std::string> payloads;
+  for (char byte : wire) {
+    reader.feed(&byte, 1);
+    while (auto payload = reader.next()) payloads.push_back(*payload);
+  }
+  ASSERT_EQ(payloads.size(), 3u);
+  EXPECT_EQ(payloads[0], "plan system=barcode");
+  EXPECT_EQ(payloads[1], "");
+  EXPECT_EQ(payloads[2], "stats");
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReader, OversizedHeaderLatchesAndDropsTheTail) {
+  service::FrameReader reader;
+  const char huge[4] = {'\xff', '\xff', '\xff', '\xff'};
+  reader.feed(huge, sizeof(huge));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.overflowed());
+  EXPECT_EQ(reader.announced(), 0xffffffffu);
+  // A valid frame after the bad header is unreachable: the stream
+  // cannot be resynchronized.
+  const std::string good = service::encode_frame("plan");
+  reader.feed(good.data(), good.size());
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(FrameReader, EncodeRejectsOversizedPayloads) {
+  EXPECT_THROW(
+      service::encode_frame(std::string(service::kMaxFrameBytes + 1, 'x')),
+      util::Error);
+}
+
+TEST(Protocol, ParseHostPort) {
+  const auto hp = service::parse_host_port("127.0.0.1:8080");
+  EXPECT_EQ(hp.host, "127.0.0.1");
+  EXPECT_EQ(hp.port, 8080);
+  EXPECT_THROW(service::parse_host_port("127.0.0.1"), util::Error);
+  EXPECT_THROW(service::parse_host_port(":80"), util::Error);
+  EXPECT_THROW(service::parse_host_port("host:"), util::Error);
+  EXPECT_THROW(service::parse_host_port("host:0"), util::Error);
+  EXPECT_THROW(service::parse_host_port("host:99999"), util::Error);
+  EXPECT_THROW(service::parse_host_port("host:12x"), util::Error);
+}
+
+TEST(Protocol, BlockingReadThrowsOnTruncatedFrames) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Two header bytes, then EOF: the peer died inside the header.
+  ASSERT_EQ(::write(fds[0], "\0\0", 2), 2);
+  ::close(fds[0]);
+  EXPECT_THROW(service::read_frame(fds[1]), util::Error);
+  ::close(fds[1]);
+
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // A complete header announcing 10 bytes, then only 3 of them.
+  const std::string partial = service::encode_frame("0123456789");
+  ASSERT_EQ(::write(fds[0], partial.data(), 7),
+            static_cast<ssize_t>(7));
+  ::close(fds[0]);
+  EXPECT_THROW(service::read_frame(fds[1]), util::Error);
+  ::close(fds[1]);
+
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[0]);
+  EXPECT_FALSE(service::read_frame(fds[1]).has_value());  // clean EOF
+  ::close(fds[1]);
+}
+
+// ------------------------------------------------------- byte-bounded cache
+
+service::PlanCache::Entry entry_of(const std::string& payload) {
+  service::PlanCache::Entry entry;
+  entry.payload = payload;
+  return entry;
+}
+
+TEST(PlanCache, ByteBudgetEvictsFromTheColdEnd) {
+  // Each entry costs payload (10) + overhead bytes; budget fits two.
+  const std::size_t per_entry =
+      10 + service::PlanCache::kEntryOverheadBytes;
+  service::PlanCache cache(/*capacity=*/100, /*max_bytes=*/2 * per_entry);
+  cache.insert(1, entry_of(std::string(10, 'a')));
+  cache.insert(2, entry_of(std::string(10, 'b')));
+  EXPECT_EQ(cache.bytes(), 2 * per_entry);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  cache.insert(3, entry_of(std::string(10, 'c')));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.bytes(), 2 * per_entry);
+  EXPECT_FALSE(cache.lookup(1).has_value());  // key 1 was coldest
+  EXPECT_TRUE(cache.lookup(2).has_value());
+  EXPECT_TRUE(cache.lookup(3).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().evicted_bytes, per_entry);
+}
+
+TEST(PlanCache, ByteBudgetKeepsTheNewestEntryEvenWhenOversized) {
+  service::PlanCache cache(/*capacity=*/100, /*max_bytes=*/64);
+  cache.insert(1, entry_of(std::string(500, 'x')));  // alone over budget
+  EXPECT_EQ(cache.size(), 1u);  // never evict down to an empty cache
+  EXPECT_TRUE(cache.lookup(1).has_value());
+
+  cache.insert(2, entry_of(std::string(500, 'y')));
+  EXPECT_EQ(cache.size(), 1u);  // the old giant goes, the new one stays
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  EXPECT_TRUE(cache.lookup(2).has_value());
+}
+
+TEST(PlanCache, ZeroByteBudgetMeansUnbounded) {
+  service::PlanCache cache(/*capacity=*/100, /*max_bytes=*/0);
+  for (std::uint64_t key = 0; key < 50; ++key) {
+    cache.insert(key, entry_of(std::string(1000, 'z')));
+  }
+  EXPECT_EQ(cache.size(), 50u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+// ------------------------------------------------------------------ server
+
+const std::vector<std::string> kJobFile = {
+    "# exercise every verb, with repeats for cache hits",
+    "plan system=barcode selection=1,2,1",
+    "",
+    "optimize system=system2 tat-budget=600000",
+    "plan system=barcode selection=1,2,1",
+    "explore system=barcode",
+    "parallel system=barcode selection=2,2,2",
+    "program system=barcode",
+    "plan system=nope",  // error record, but the batch keeps going
+    "optimize system=barcode w1=1.5 w2=0.25",
+};
+
+std::string serial_records(const std::vector<std::string>& lines) {
+  service::ServiceOptions options;
+  options.threads = 1;
+  service::PlanningService service(options);
+  return service.run_lines(lines).records_text();
+}
+
+service::Client connect_to(const service::Server& server,
+                           std::size_t window = 16) {
+  service::ClientOptions options;
+  options.port = server.port();
+  options.window = window;
+  return service::Client(options);
+}
+
+TEST(Serve, HealthAndStatsRoundTrip) {
+  service::ServerOptions options;
+  options.threads = 2;
+  service::Server server(std::move(options));
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  auto client = connect_to(server);
+  EXPECT_EQ(client.query("health"), "ok health serving");
+  const std::string stats = client.query("stats");
+  EXPECT_EQ(stats.rfind("ok stats workers=2 ", 0), 0u) << stats;
+  EXPECT_NE(stats.find(" draining=0 "), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" cache_entries=0 "), std::string::npos) << stats;
+}
+
+TEST(Serve, MatchesBatchByteForByteAtEveryWorkerCount) {
+  const std::string expected = serial_records(kJobFile);
+  for (unsigned threads : {1u, 2u, 4u}) {
+    service::ServerOptions options;
+    options.threads = threads;
+    service::Server server(std::move(options));
+    server.start();
+    auto client = connect_to(server);
+    const auto report = client.run_lines(kJobFile);
+    EXPECT_EQ(report.records_text(), expected) << threads << " workers";
+    EXPECT_EQ(report.errors, 1u);
+    EXPECT_EQ(report.busy, 0u);
+  }
+}
+
+TEST(Serve, ManyClientsShareOneWarmCache) {
+  service::ServerOptions options;
+  options.threads = 4;
+  service::Server server(std::move(options));
+  server.start();
+  const std::string expected = serial_records(kJobFile);
+
+  // Concurrent clients: every one sees byte-identical records.
+  std::vector<std::thread> threads;
+  std::vector<std::string> outputs(6);
+  for (std::size_t c = 0; c < outputs.size(); ++c) {
+    threads.emplace_back([&server, &outputs, c] {
+      auto client = connect_to(server);
+      outputs[c] = client.run_lines(kJobFile).records_text();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const std::string& output : outputs) EXPECT_EQ(output, expected);
+
+  // The cache outlives connections: a fresh client replaying the same
+  // file hits on all 7 successful jobs; only the failing job (errors
+  // are never cached) misses again.
+  const auto before = server.stats();
+  auto client = connect_to(server);
+  client.run_lines(kJobFile);
+  const auto after = server.stats();
+  EXPECT_EQ(after.cache.misses, before.cache.misses + 1);
+  EXPECT_GE(after.cache.hits, before.cache.hits + 7);
+}
+
+TEST(Serve, OversizedFrameKillsOnlyThatConnection) {
+  service::ServerOptions options;
+  options.threads = 1;
+  service::Server server(std::move(options));
+  server.start();
+
+  auto good = connect_to(server);
+  EXPECT_EQ(good.query("health"), "ok health serving");
+
+  // A raw connection announcing a 4 GiB frame: the server answers with
+  // one error frame and closes; the stream cannot be resynchronized.
+  const int bad_fd = service::net_connect("127.0.0.1", server.port());
+  ASSERT_EQ(::write(bad_fd, "\xff\xff\xff\xff", 4), 4);
+  const auto reply = service::read_frame(bad_fd);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->rfind("error oversized frame", 0), 0u) << *reply;
+  EXPECT_FALSE(service::read_frame(bad_fd).has_value());  // then EOF
+  ::close(bad_fd);
+
+  // The well-behaved connection is unaffected.
+  EXPECT_EQ(good.query("health"), "ok health serving");
+  const auto report = good.run_lines({"plan system=barcode"});
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_EQ(server.stats().bad_frames, 1u);
+}
+
+TEST(Serve, PendingResponsesStillFlushBeforeTheErrorClose) {
+  // A job request followed by garbage in the same burst: the job's
+  // response arrives first (FIFO slots), then the error, then EOF.
+  service::ServerOptions options;
+  options.threads = 1;
+  service::Server server(std::move(options));
+  server.start();
+
+  const int fd = service::net_connect("127.0.0.1", server.port());
+  const std::string burst =
+      service::encode_frame("plan system=barcode") + "\xff\xff\xff\xff";
+  ASSERT_EQ(::write(fd, burst.data(), burst.size()),
+            static_cast<ssize_t>(burst.size()));
+  const auto first = service::read_frame(fd);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->rfind("ok plan ", 0), 0u) << *first;
+  const auto second = service::read_frame(fd);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->rfind("error oversized frame", 0), 0u) << *second;
+  EXPECT_FALSE(service::read_frame(fd).has_value());
+  ::close(fd);
+}
+
+/// Parks worker threads inside before_execute until release() and
+/// reports how many workers have entered, so admission/drain tests can
+/// sequence requests deterministically against a busy pool.
+class WorkerGate {
+ public:
+  void wait_entered(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    entered_cv_.wait(lock, [&] { return entered_ >= n; });
+  }
+  void release() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    released_ = true;
+    release_cv_.notify_all();
+  }
+  std::function<void(const std::string&)> hook() {
+    return [this](const std::string&) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++entered_;
+      entered_cv_.notify_all();
+      release_cv_.wait(lock, [&] { return released_; });
+    };
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable entered_cv_;
+  std::condition_variable release_cv_;
+  std::size_t entered_ = 0;
+  bool released_ = false;
+};
+
+TEST(Serve, SaturatedQueueAnswersBusyWithoutRunningTheJob) {
+  WorkerGate gate;
+  service::ServerOptions options;
+  options.threads = 1;
+  options.max_queue = 1;
+  options.before_execute = gate.hook();
+  service::Server server(std::move(options));
+  server.start();
+
+  const int fd = service::net_connect("127.0.0.1", server.port());
+  // Job 1 occupies the only worker...
+  service::write_frame(fd, "plan system=barcode");
+  gate.wait_entered(1);
+  // ...so job 2 fills the queue (depth 1) and job 3 exceeds the
+  // high-water mark.  Frames on one connection process in order, which
+  // makes the admission outcomes deterministic.
+  service::write_frame(fd, "explore system=barcode");
+  service::write_frame(fd, "program system=barcode");
+  gate.release();
+
+  const auto r1 = service::read_frame(fd);
+  const auto r2 = service::read_frame(fd);
+  const auto r3 = service::read_frame(fd);
+  ASSERT_TRUE(r1 && r2 && r3);
+  EXPECT_EQ(r1->rfind("ok plan ", 0), 0u) << *r1;
+  EXPECT_EQ(r2->rfind("ok explore ", 0), 0u) << *r2;
+  EXPECT_EQ(*r3, "busy queue=1 limit=1");
+  ::close(fd);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.busy_rejects, 1u);
+  EXPECT_EQ(stats.requests, 2u);  // the rejected job was never admitted
+  EXPECT_EQ(stats.responses, 2u);
+}
+
+TEST(Serve, GracefulDrainFinishesAdmittedWorkAndRejectsTheRest) {
+  WorkerGate gate;
+  service::ServerOptions options;
+  options.threads = 1;
+  options.before_execute = gate.hook();
+  service::Server server(std::move(options));
+  server.start();
+
+  const int fd = service::net_connect("127.0.0.1", server.port());
+  service::write_frame(fd, "plan system=barcode");   // in flight
+  gate.wait_entered(1);
+  service::write_frame(fd, "explore system=barcode");  // admitted, queued
+
+  server.request_drain();
+  while (!server.stats().draining) std::this_thread::sleep_for(1ms);
+  // New connections are refused once draining: the listen socket is
+  // closed, so a connect attempt fails outright.
+  EXPECT_THROW(service::net_connect("127.0.0.1", server.port()),
+               util::Error);
+  // New work on the existing connection is rejected, structured.
+  service::write_frame(fd, "program system=barcode");
+
+  gate.release();
+  const auto r1 = service::read_frame(fd);
+  const auto r2 = service::read_frame(fd);
+  const auto r3 = service::read_frame(fd);
+  ASSERT_TRUE(r1 && r2 && r3);
+  EXPECT_EQ(r1->rfind("ok plan ", 0), 0u) << *r1;     // finished in flight
+  EXPECT_EQ(r2->rfind("ok explore ", 0), 0u) << *r2;  // finished queued
+  EXPECT_EQ(*r3, "busy draining");
+  // Flushed and idle, the server closes the connection...
+  EXPECT_FALSE(service::read_frame(fd).has_value());
+  ::close(fd);
+  // ...and the drain completes.
+  server.wait();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.responses, 2u);
+  EXPECT_EQ(stats.busy_rejects, 1u);
+  EXPECT_EQ(stats.connections_open, 0u);
+}
+
+TEST(Serve, DrainClosesIdleConnections) {
+  service::ServerOptions options;
+  options.threads = 1;
+  service::Server server(std::move(options));
+  server.start();
+  const int fd = service::net_connect("127.0.0.1", server.port());
+  service::write_frame(fd, "health");
+  ASSERT_TRUE(service::read_frame(fd).has_value());
+  server.request_drain();
+  EXPECT_FALSE(service::read_frame(fd).has_value());  // server-side close
+  ::close(fd);
+  server.wait();
+}
+
+TEST(Serve, ByteBoundedCacheReportsEvictionsInStats) {
+  service::ServerOptions options;
+  options.threads = 1;
+  // A budget small enough that distinct explore payloads evict each
+  // other but big enough for one entry.
+  options.cache_bytes = 200;
+  service::Server server(std::move(options));
+  server.start();
+  auto client = connect_to(server);
+  client.run_lines({"explore system=barcode", "explore system=system2",
+                    "explore system=barcode"});
+  const auto stats = server.stats();
+  EXPECT_GE(stats.cache.evictions, 1u);
+  EXPECT_GT(stats.cache.evicted_bytes, 0u);
+  EXPECT_LE(stats.cache_entries, 2u);
+  const std::string text = client.query("stats");
+  EXPECT_NE(text.find("cache_evicted_bytes="), std::string::npos) << text;
+}
+
+// --------------------------------------------------------------------- CLI
+
+struct CliRun {
+  std::string output;
+  int exit_code = 0;
+};
+
+CliRun run_cli(const std::string& arguments) {
+  const std::string command =
+      std::string(SOCET_CLI_PATH) + " " + arguments + " 2>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  CliRun run;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    run.output.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return run;
+}
+
+TEST(Cli, ClientAndBatchConnectMatchLocalBatch) {
+  service::ServerOptions options;
+  options.threads = 2;
+  service::Server server(std::move(options));
+  server.start();
+  const std::string connect =
+      "127.0.0.1:" + std::to_string(server.port());
+
+  const std::string path = testing::TempDir() + "serve_cli_jobs.txt";
+  {
+    std::ofstream file(path);
+    for (const std::string& line : kJobFile) file << line << "\n";
+  }
+  const CliRun local = run_cli("batch --jobs " + path);
+  EXPECT_EQ(local.exit_code, 1);  // kJobFile contains one failing job
+  const CliRun remote_client =
+      run_cli("client --connect " + connect + " --jobs " + path);
+  EXPECT_EQ(remote_client.exit_code, 1);
+  EXPECT_EQ(remote_client.output, local.output);
+  const CliRun remote_batch =
+      run_cli("batch --connect " + connect + " --jobs " + path);
+  EXPECT_EQ(remote_batch.exit_code, 1);
+  EXPECT_EQ(remote_batch.output, local.output);
+
+  const CliRun health = run_cli("client --connect " + connect + " health");
+  EXPECT_EQ(health.exit_code, 0);
+  EXPECT_EQ(health.output, "ok health serving\n");
+  const CliRun stats = run_cli("client --connect " + connect + " stats");
+  EXPECT_EQ(stats.exit_code, 0);
+  EXPECT_EQ(stats.output.rfind("ok stats workers=2 ", 0), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ClientRejectsBadArguments) {
+  EXPECT_EQ(run_cli("client --jobs nowhere.txt").exit_code, 1);
+  EXPECT_EQ(run_cli("client --connect 127.0.0.1 --jobs x").exit_code, 1);
+  EXPECT_EQ(run_cli("client --connect 127.0.0.1:1 bogus").exit_code, 1);
+  // Nothing is listening on a fresh ephemeral port's neighbour; a
+  // connect failure is an error, not a hang.
+  EXPECT_EQ(run_cli("serve --threads 0").exit_code, 1);
+}
+
+}  // namespace
+}  // namespace socet

@@ -74,6 +74,43 @@ TEST(JobLine, RejectsMalformedInput) {
   EXPECT_THROW(service::parse_job_line("plan system="), util::Error);
 }
 
+std::string parse_error(const std::string& line) {
+  try {
+    service::parse_job_line(line);
+  } catch (const util::Error& error) {
+    return error.what();
+  }
+  return "";
+}
+
+TEST(JobLine, ErrorsPointAtTheOffendingColumn) {
+  // The verb is the first token; a leading-space line shifts it.
+  EXPECT_EQ(parse_error("pln"),
+            "unknown verb 'pln' (want plan|optimize|explore|parallel|"
+            "program) (column 1)");
+  EXPECT_EQ(parse_error("  pln"),
+            "unknown verb 'pln' (want plan|optimize|explore|parallel|"
+            "program) (column 3)");
+  // "bogus=1" starts at column 6 of "plan bogus=1".
+  EXPECT_EQ(parse_error("plan bogus=1"),
+            "bad job option 'bogus=1' (column 6)");
+  // A valid key whose verb does not take it points at the key.
+  EXPECT_EQ(parse_error("explore selection=1,2"),
+            "'selection' does not apply to verb explore (column 9)");
+  EXPECT_EQ(parse_error("plan area-budget=4"),
+            "'area-budget' only applies to verb optimize (column 6)");
+  // Nested value-parse errors keep their message and gain the column.
+  EXPECT_EQ(parse_error("plan system=barcode selection=1,x"),
+            "bad selection token 'x' (want a number) (column 21)");
+  EXPECT_EQ(parse_error("optimize area-budget=many"),
+            "bad area-budget 'many' (want a number) (column 10)");
+  EXPECT_EQ(parse_error("optimize w1=1 w2=x"),
+            "bad w2 'x' (want a number) (column 15)");
+  EXPECT_EQ(parse_error("optimize area-budget=1 tat-budget=2"),
+            "optimize takes exactly one objective (column 24)");
+  EXPECT_EQ(parse_error("plan system="), "empty system name (column 6)");
+}
+
 TEST(SelectionSpec, StrictOneBasedParsing) {
   EXPECT_EQ(service::parse_selection_spec("1,2,3"),
             (std::vector<unsigned>{0, 1, 2}));

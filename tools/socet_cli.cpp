@@ -7,6 +7,8 @@
 //   socet explore  [--system ...]            # design-space CSV (Figure 10)
 //   socet parallel [--system ...] [--selection 1,2,3]  # session schedule
 //   socet batch    --jobs FILE [--threads N] # planning service (one job/line)
+//   socet serve    [--port N] [--threads N]  # persistent planning daemon
+//   socet client   --connect HOST:PORT (--jobs FILE | stats | health)
 //   socet sweep    [--system ...] [--threads N]  # parallel explore
 //   socet program  [--system ...]            # assembled test program
 //   socet verilog  --core CPU [--gates]      # Verilog to stdout
@@ -35,6 +37,9 @@
 #include "socet/obs/sampler.hpp"
 #include "socet/obs/trace.hpp"
 #include "socet/opt/optimize.hpp"
+#include "socet/service/client.hpp"
+#include "socet/service/protocol.hpp"
+#include "socet/service/server.hpp"
 #include "socet/service/service.hpp"
 #include "socet/soc/parallel.hpp"
 #include "socet/soc/testprogram.hpp"
@@ -232,12 +237,15 @@ service::ServiceOptions service_options(const Args& args) {
   util::require(options.threads >= 1, "--threads must be at least 1");
   options.cache_capacity =
       parse_option_count(args, "cache", options.cache_capacity);
+  options.cache_bytes =
+      parse_option_count(args, "cache-bytes", options.cache_bytes);
   return options;
 }
 
-int cmd_batch(const Args& args) {
-  const std::string path = args.get("jobs", "");
-  util::require(!path.empty(), "batch needs --jobs FILE (or --jobs -)");
+std::vector<std::string> read_job_lines(const std::string& path,
+                                        const char* who) {
+  util::require(!path.empty(),
+                std::string(who) + " needs --jobs FILE (or --jobs -)");
   std::vector<std::string> lines;
   std::string line;
   if (path == "-") {
@@ -247,6 +255,35 @@ int cmd_batch(const Args& args) {
     util::require(file.good(), "cannot open jobs file '" + path + "'");
     while (std::getline(file, line)) lines.push_back(line);
   }
+  return lines;
+}
+
+service::ClientOptions client_options(const Args& args) {
+  const std::string connect = args.get("connect", "");
+  const auto host_port = service::parse_host_port(connect);
+  service::ClientOptions options;
+  options.host = host_port.host;
+  options.port = host_port.port;
+  options.window = parse_option_count(args, "window", options.window);
+  return options;
+}
+
+/// Replay a job file against a daemon and print records to stdout —
+/// the remote path shared by `client --jobs` and `batch --connect`.
+int run_remote_jobs(const Args& args, const char* who) {
+  const auto lines = read_job_lines(args.get("jobs", ""), who);
+  service::Client client(client_options(args));
+  const auto report = client.run_lines(lines);
+  std::printf("%s", report.records_text().c_str());
+  std::fprintf(stderr, "%s: %zu jobs via %s, %zu errors, %zu busy\n", who,
+               report.jobs, args.get("connect", "").c_str(), report.errors,
+               report.busy);
+  return (report.errors == 0 && report.busy == 0) ? 0 : 1;
+}
+
+int cmd_batch(const Args& args) {
+  if (args.has("connect")) return run_remote_jobs(args, "batch");
+  const auto lines = read_job_lines(args.get("jobs", ""), "batch");
   service::PlanningService service(service_options(args));
   const auto report = service.run_lines(lines);
   std::printf("%s", report.records_text().c_str());
@@ -259,6 +296,49 @@ int cmd_batch(const Args& args) {
     }
   }
   return report.errors == 0 ? 0 : 1;
+}
+
+int cmd_serve(const Args& args) {
+  service::ServerOptions options;
+  options.host = args.get("host", options.host);
+  options.port =
+      static_cast<unsigned short>(parse_option_count(args, "port", 0));
+  options.threads =
+      static_cast<unsigned>(parse_option_count(args, "threads", 1));
+  util::require(options.threads >= 1, "--threads must be at least 1");
+  options.cache_capacity =
+      parse_option_count(args, "cache", options.cache_capacity);
+  options.cache_bytes =
+      parse_option_count(args, "cache-bytes", options.cache_bytes);
+  options.max_queue =
+      parse_option_count(args, "max-queue", options.max_queue);
+  options.client_window =
+      parse_option_count(args, "window", options.client_window);
+  options.port_file = args.get("port-file", "");
+  const std::string host = options.host;
+  const unsigned threads = options.threads;
+  service::Server server(std::move(options));
+  server.start();
+  server.install_signal_handlers();
+  std::fprintf(stderr, "socet serve: listening on %s:%u (%u worker%s)\n",
+               host.c_str(), server.port(), threads,
+               threads == 1 ? "" : "s");
+  server.wait();  // until SIGTERM/SIGINT drains the daemon
+  std::fprintf(stderr, "socet serve: drained: %s\n",
+               server.stats().text().c_str());
+  return 0;
+}
+
+int cmd_client(const Args& args) {
+  const std::string verb = args.positional(0);
+  if (verb == "stats" || verb == "health") {
+    service::Client client(client_options(args));
+    std::printf("%s\n", client.query(verb).c_str());
+    return 0;
+  }
+  util::require(verb.empty(), "unknown client verb '" + verb +
+                                  "' (use stats|health or --jobs FILE)");
+  return run_remote_jobs(args, "client");
 }
 
 int cmd_sweep(const Args& args) {
@@ -379,8 +459,17 @@ int usage() {
       "            --w1 X --w2 Y (weighted objective iii)\n"
       "  parallel  [--system ...] [--selection 1,2,3]\n"
       "  explore   [--system ...]\n"
-      "  batch     --jobs FILE|- [--threads N] [--cache N] [--verbose]\n"
-      "            (planning service; one job per line, see docs/FORMATS.md)\n"
+      "  batch     --jobs FILE|- [--threads N] [--cache N]\n"
+      "            [--cache-bytes N] [--verbose] [--connect HOST:PORT]\n"
+      "            (planning service; one job per line, see docs/FORMATS.md;\n"
+      "            --connect replays the file against a running daemon)\n"
+      "  serve     [--host H] [--port N] [--threads N] [--cache N]\n"
+      "            [--cache-bytes N] [--max-queue N] [--window N]\n"
+      "            [--port-file FILE]\n"
+      "            (persistent planning daemon, docs/SERVICE.md; drain\n"
+      "            with SIGTERM; wire protocol in docs/FORMATS.md §6)\n"
+      "  client    --connect HOST:PORT (--jobs FILE|- | stats | health)\n"
+      "            [--window N]\n"
       "  sweep     [--system ...] [--threads N] (parallel explore)\n"
       "  program   [--system ...] [--selection 1,2,3]\n"
       "  verilog   --core NAME [--gates]\n"
@@ -411,6 +500,7 @@ const std::map<std::string, Command>& commands() {
       {"menus", cmd_menus},       {"plan", cmd_plan},
       {"optimize", cmd_optimize}, {"explore", cmd_explore},
       {"batch", cmd_batch},       {"sweep", cmd_sweep},
+      {"serve", cmd_serve},       {"client", cmd_client},
       {"program", cmd_program},   {"parallel", cmd_parallel},
       {"verilog", cmd_verilog},   {"dot", cmd_dot},
       {"interface", cmd_interface}, {"explain", cmd_explain}};
