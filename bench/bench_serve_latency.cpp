@@ -2,7 +2,7 @@
 //
 // Phase 1 measures per-request round-trip latency over loopback with a
 // serial client (one frame in flight): after a warm-up pass, 200
-// requests against a hot cache give the p50/p95 of the full
+// requests against a hot cache give the p50/p95/p99 of the full
 // client-write -> poll loop -> worker -> response-read path.  Phase 2
 // replays a 64-job unique workload twice through one daemon: the first
 // pass executes every job (cold), the second is served from the shared
@@ -108,6 +108,7 @@ int main() {
   ::close(fd);
   const double p50_us = ok ? quantile_us(latencies_us, 0.5) : 0;
   const double p95_us = ok ? quantile_us(latencies_us, 0.95) : 0;
+  const double p99_us = ok ? quantile_us(latencies_us, 0.99) : 0;
 
   // ---- phase 2: cold-vs-warm throughput through one shared cache
   const auto workload = unique_workload();
@@ -157,6 +158,7 @@ int main() {
   util::Table table({"measure", "value"});
   table.add_row({"p50 round-trip", util::Table::num(p50_us) + " us"});
   table.add_row({"p95 round-trip", util::Table::num(p95_us) + " us"});
+  table.add_row({"p99 round-trip", util::Table::num(p99_us) + " us"});
   table.add_row({"cold pass", util::Table::num(cold_ms, 2) + " ms (" +
                                   util::Table::num(jobs / cold_ms * 1000.0) +
                                   " jobs/s)"});
@@ -168,6 +170,7 @@ int main() {
 
   report.metric("p50_us", p50_us);
   report.metric("p95_us", p95_us);
+  report.metric("p99_us", p99_us);
   report.metric("cold_ms", cold_ms);
   report.metric("warm_ms", warm_ms);
   report.metric("warm_speedup", speedup);

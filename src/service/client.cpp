@@ -35,7 +35,10 @@ ClientReport Client::run_lines(const std::vector<std::string>& lines) {
   std::size_t received = 0;
   while (received < batch.size()) {
     while (sent < batch.size() && sent - received < options_.window) {
-      write_frame(fd_, *batch[sent]);
+      // The corr id matches one-shot batch's JournalScope naming
+      // ("job-<n>"), so a daemon-side journal reads exactly like a
+      // local one and `socet explain` queries transfer unchanged.
+      write_frame(fd_, *batch[sent], "job-" + std::to_string(sent + 1));
       ++sent;
     }
     auto response = read_frame(fd_);

@@ -38,20 +38,43 @@ namespace socet::service {
 inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
 inline constexpr std::size_t kFrameHeaderBytes = 4;
 
-/// Render `payload` as one wire frame (header + bytes).  Throws
-/// util::Error if the payload exceeds kMaxFrameBytes.
-std::string encode_frame(std::string_view payload);
+/// Top bit of the length word: the frame carries a correlation id.
+/// Flagged layout (FORMATS.md §6): the masked word counts
+/// `1 + corr_len + payload_len` bytes, followed by [1B corr_len]
+/// [corr bytes][payload].  Plain payloads never exceed kMaxFrameBytes
+/// (1 MiB), so the bit is unambiguous; a peer that predates the flag
+/// sees an oversized frame and drops the connection, never a corrupted
+/// payload.
+inline constexpr std::uint32_t kFrameCorrFlag = 0x80000000u;
+inline constexpr std::size_t kMaxCorrBytes = 255;
+
+/// Render `payload` as one wire frame (header + bytes).  A non-empty
+/// `corr` rides in the flagged header extension so the server can open
+/// its decision journal under the client's correlation id.  Throws
+/// util::Error if the payload exceeds kMaxFrameBytes or the corr id
+/// exceeds kMaxCorrBytes.
+std::string encode_frame(std::string_view payload,
+                         std::string_view corr = {});
 
 /// Incremental frame decoder for a non-blocking stream: feed() raw
-/// bytes as they arrive, pop complete payloads with next().  Once a
-/// header announces a payload beyond kMaxFrameBytes the stream is
+/// bytes as they arrive, pop complete payloads with next() /
+/// next_frame().  Once a header announces a payload beyond
+/// kMaxFrameBytes (or a malformed corr extension) the stream is
 /// unrecoverable: overflowed() latches and next() returns nothing.
 class FrameReader {
  public:
+  struct Frame {
+    std::string payload;
+    std::string corr;  ///< empty when the frame carried no corr id
+  };
+
   void feed(const char* data, std::size_t n);
-  /// Next complete payload, if one is fully buffered.
+  /// Next complete payload, if one is fully buffered (corr discarded).
   std::optional<std::string> next();
-  /// True once an oversized header was seen; announced() is its length.
+  /// Next complete frame with its correlation id, if fully buffered.
+  std::optional<Frame> next_frame();
+  /// True once an oversized header was seen; announced() is the raw
+  /// 32-bit length word exactly as it appeared on the wire.
   [[nodiscard]] bool overflowed() const { return overflowed_; }
   [[nodiscard]] std::uint64_t announced() const { return announced_; }
   /// Bytes buffered but not yet returned (bounded by the server's
@@ -68,7 +91,7 @@ class FrameReader {
 // -- blocking helpers (client side, tests) ---------------------------------
 
 /// Write one frame to a blocking socket.  Throws util::Error on error.
-void write_frame(int fd, std::string_view payload);
+void write_frame(int fd, std::string_view payload, std::string_view corr = {});
 
 /// Read one frame from a blocking socket.  Returns nullopt on clean EOF
 /// at a frame boundary; throws util::Error on a mid-frame EOF

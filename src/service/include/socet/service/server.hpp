@@ -34,6 +34,7 @@
 // close, join.  See docs/SERVICE.md "Running as a daemon".
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -63,6 +64,27 @@ struct ServerOptions {
   /// If non-empty, write "<port>\n" here once listening — how scripts
   /// and CI discover an ephemeral port.
   std::string port_file;
+
+  // -- telemetry plane (docs/SERVICE.md "Live daemon telemetry") ----------
+  // Everything below is off by default; enabling it never touches the
+  // daemon's wire responses or stdout.
+
+  /// Serve GET /metrics (Prometheus text), /healthz, and /readyz over an
+  /// embedded HTTP/1.0 listener (httpd.hpp).  Readiness flips to 503
+  /// while draining.
+  bool metrics_http = false;
+  std::string metrics_host = "127.0.0.1";
+  unsigned short metrics_port = 0;  ///< 0 = ephemeral
+  /// If non-empty, the bound metrics port is written here (CI/scripts).
+  std::string metrics_port_file;
+  /// JSONL access log: one `serve.access` object per request
+  /// (FORMATS.md §7) — empty = off.  Any telemetry flag (this or
+  /// metrics_http) turns on metrics collection and the rolling-window
+  /// ticker, so the `metrics` protocol verb and `socet top` have data.
+  std::string access_log;
+  /// Rolling-window tick cadence (obs::WindowTicker granularity).
+  std::chrono::milliseconds window_interval{10000};
+
   /// Test hook: runs on the worker thread before each job executes
   /// (admission-control and drain tests park workers here).
   std::function<void(const std::string& line)> before_execute;
@@ -79,6 +101,7 @@ struct ServerStats {
   std::uint64_t busy_rejects = 0;  ///< admission + drain rejects
   std::uint64_t bad_frames = 0;    ///< oversized/unrecoverable frames
   std::uint64_t queue_depth = 0;   ///< admitted, not yet executing
+  std::uint64_t queue_depth_hwm = 0;  ///< high-water mark since start
   std::uint64_t inflight = 0;      ///< executing right now
   unsigned workers = 0;
   bool draining = false;
@@ -104,6 +127,9 @@ class Server {
 
   /// The bound port (resolves port 0 after start()).
   [[nodiscard]] unsigned short port() const;
+
+  /// The bound telemetry HTTP port (0 unless metrics_http is on).
+  [[nodiscard]] unsigned short metrics_port() const;
 
   /// Thread- and signal-safe-adjacent: ask the event loop to begin a
   /// graceful drain.  Callable from any thread; the actual signal

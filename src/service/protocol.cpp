@@ -49,13 +49,26 @@ std::size_t read_exact(int fd, char* out, std::size_t n) {
 
 }  // namespace
 
-std::string encode_frame(std::string_view payload) {
+std::string encode_frame(std::string_view payload, std::string_view corr) {
   util::require(payload.size() <= kMaxFrameBytes,
                 "frame payload of " + std::to_string(payload.size()) +
                     " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
                     "-byte limit");
   std::string frame(kFrameHeaderBytes, '\0');
-  encode_length(static_cast<std::uint32_t>(payload.size()), frame.data());
+  if (corr.empty()) {
+    encode_length(static_cast<std::uint32_t>(payload.size()), frame.data());
+    frame.append(payload);
+    return frame;
+  }
+  util::require(corr.size() <= kMaxCorrBytes,
+                "correlation id of " + std::to_string(corr.size()) +
+                    " bytes exceeds the " + std::to_string(kMaxCorrBytes) +
+                    "-byte limit");
+  const std::uint32_t total =
+      static_cast<std::uint32_t>(1 + corr.size() + payload.size());
+  encode_length(kFrameCorrFlag | total, frame.data());
+  frame += static_cast<char>(corr.size());
+  frame.append(corr);
   frame.append(payload);
   return frame;
 }
@@ -72,23 +85,47 @@ void FrameReader::feed(const char* data, std::size_t n) {
 }
 
 std::optional<std::string> FrameReader::next() {
+  auto frame = next_frame();
+  if (!frame) return std::nullopt;
+  return std::move(frame->payload);
+}
+
+std::optional<FrameReader::Frame> FrameReader::next_frame() {
   if (overflowed_) return std::nullopt;
   if (buffer_.size() - pos_ < kFrameHeaderBytes) return std::nullopt;
-  const std::uint32_t length = decode_length(buffer_.data() + pos_);
-  if (length > kMaxFrameBytes) {
+  const std::uint32_t word = decode_length(buffer_.data() + pos_);
+  const bool has_corr = (word & kFrameCorrFlag) != 0;
+  const std::uint32_t length = word & ~kFrameCorrFlag;
+  // announced() keeps the raw wire word: diagnostics for an oversized
+  // plain frame and for a bogus flagged header read the same way.
+  if (length > kMaxFrameBytes || (has_corr && length == 0)) {
     overflowed_ = true;
-    announced_ = length;
+    announced_ = word;
     return std::nullopt;
   }
   if (buffer_.size() - pos_ < kFrameHeaderBytes + length) return std::nullopt;
-  std::string payload =
-      buffer_.substr(pos_ + kFrameHeaderBytes, length);
+  Frame frame;
+  std::size_t body = pos_ + kFrameHeaderBytes;
+  std::size_t remaining = length;
+  if (has_corr) {
+    const std::size_t corr_len =
+        static_cast<unsigned char>(buffer_[body]);
+    if (corr_len + 1 > remaining) {  // corr_len lies about the body
+      overflowed_ = true;
+      announced_ = word;
+      return std::nullopt;
+    }
+    frame.corr = buffer_.substr(body + 1, corr_len);
+    body += 1 + corr_len;
+    remaining -= 1 + corr_len;
+  }
+  frame.payload = buffer_.substr(body, remaining);
   pos_ += kFrameHeaderBytes + length;
-  return payload;
+  return frame;
 }
 
-void write_frame(int fd, std::string_view payload) {
-  const std::string frame = encode_frame(payload);
+void write_frame(int fd, std::string_view payload, std::string_view corr) {
+  const std::string frame = encode_frame(payload, corr);
   std::size_t sent = 0;
   while (sent < frame.size()) {
     const ssize_t w = ::write(fd, frame.data() + sent, frame.size() - sent);
@@ -106,13 +143,23 @@ std::optional<std::string> read_frame(int fd) {
   if (got == 0) return std::nullopt;  // clean EOF between frames
   util::require(got == sizeof(header),
                 "truncated frame: connection closed inside the header");
-  const std::uint32_t length = decode_length(header);
-  util::require(length <= kMaxFrameBytes,
-                "oversized frame: peer announced " + std::to_string(length) +
+  const std::uint32_t word = decode_length(header);
+  const bool has_corr = (word & kFrameCorrFlag) != 0;
+  const std::uint32_t length = word & ~kFrameCorrFlag;
+  util::require(length <= kMaxFrameBytes && !(has_corr && length == 0),
+                "oversized frame: peer announced " + std::to_string(word) +
                     " bytes (limit " + std::to_string(kMaxFrameBytes) + ")");
   std::string payload(length, '\0');
   util::require(read_exact(fd, payload.data(), length) == length,
                 "truncated frame: connection closed inside the payload");
+  if (has_corr) {
+    // Responses are matched positionally, so the blocking reader just
+    // strips the corr extension.
+    const std::size_t corr_len = static_cast<unsigned char>(payload[0]);
+    util::require(corr_len + 1 <= payload.size(),
+                  "malformed frame: corr length exceeds the body");
+    payload.erase(0, 1 + corr_len);
+  }
   return payload;
 }
 

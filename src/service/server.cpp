@@ -20,9 +20,12 @@
 #include <utility>
 #include <vector>
 
+#include "socet/obs/expo.hpp"
 #include "socet/obs/journal.hpp"
 #include "socet/obs/metrics.hpp"
+#include "socet/obs/report.hpp"
 #include "socet/obs/trace.hpp"
+#include "socet/service/httpd.hpp"
 #include "socet/service/protocol.hpp"
 #include "socet/service/queue.hpp"
 #include "socet/service/service.hpp"
@@ -84,6 +87,7 @@ std::string ServerStats::text() const {
   field("busy", busy_rejects);
   field("bad_frames", bad_frames);
   field("queue_depth", queue_depth);
+  field("queue_hwm", queue_depth_hwm);
   field("inflight", inflight);
   field("draining", draining ? 1 : 0);
   field("cache_hits", cache.hits);
@@ -122,12 +126,23 @@ struct Server::Impl {
     std::uint64_t slot_id = 0;
     std::uint64_t ordinal = 0;
     std::string line;
+    std::string corr;  ///< wire correlation id (may be empty)
+    std::string verb;  ///< first token of `line` (access log)
+    std::uint64_t depth_at_admit = 0;
   };
 
   struct Completion {
     std::shared_ptr<Conn> conn;
     std::uint64_t slot_id = 0;
     std::string body;
+    // Access-log fields, filled by the worker and written by the event
+    // loop (the log has exactly one writer thread).
+    std::string corr;
+    std::string verb;
+    double wall_us = 0;
+    bool ok = false;
+    bool cache_hit = false;
+    std::uint64_t depth_at_admit = 0;
   };
 
   explicit Impl(ServerOptions opts)
@@ -144,6 +159,12 @@ struct Server::Impl {
   std::vector<std::thread> workers;
   bool started = false;
   bool joined = false;
+
+  // Telemetry plane (all dormant unless the options enable it).
+  Httpd httpd;
+  obs::WindowTicker ticker;
+  std::ofstream access_log;  ///< written only by the event-loop thread
+  Clock::time_point start_time = Clock::now();
 
   WorkQueue<Task> queue;
   std::mutex completions_mutex;
@@ -162,6 +183,7 @@ struct Server::Impl {
   std::atomic<std::uint64_t> busy_rejects{0};
   std::atomic<std::uint64_t> bad_frames{0};
   std::atomic<std::uint64_t> queue_depth{0};
+  std::atomic<std::uint64_t> queue_hwm{0};
   std::atomic<std::uint64_t> inflight{0};
   std::atomic<std::uint64_t> open_conns{0};
   std::atomic<bool> draining{false};
@@ -172,30 +194,53 @@ struct Server::Impl {
   void worker_main(unsigned index) {
     obs::name_this_thread("serve-worker-" + std::to_string(index + 1));
     Executor executor(cache);
+    // Per-worker busy-time counter (the `socet top` busy% source).  The
+    // name varies by worker, so the SOCET_COUNT_N macro's function-local
+    // static cannot be used — cache the handle manually.
+    obs::Counter* busy_us = nullptr;
     while (auto task = queue.pop()) {
       queue_depth.fetch_sub(1, std::memory_order_relaxed);
       inflight.fetch_add(1, std::memory_order_relaxed);
       if (options.before_execute) options.before_execute(task->line);
       const auto start = Clock::now();
-      std::string body;
+      Completion completion;
       {
         SOCET_SPAN("serve/job");
-        obs::JournalScope journal_scope("req-" +
-                                        std::to_string(task->ordinal));
+        // The wire correlation id (if the client sent one) scopes this
+        // job's journal events, so `socet explain` queries line up with
+        // the client's own naming; bare frames fall back to a
+        // server-assigned ordinal id.
+        obs::JournalScope journal_scope(
+            task->corr.empty() ? "req-" + std::to_string(task->ordinal)
+                               : task->corr);
         JobResult result = executor.run_line(task->line, task->ordinal);
         if (!result.ok) errors.fetch_add(1, std::memory_order_relaxed);
-        body = std::move(result.record);
+        completion.ok = result.ok;
+        completion.cache_hit = result.cache_hit;
+        completion.body = std::move(result.record);
       }
       const double request_us =
           std::chrono::duration<double, std::micro>(Clock::now() - start)
               .count();
       SOCET_HISTOGRAM("serve/request_us", request_us);
+      if (obs::metrics_enabled()) {
+        if (busy_us == nullptr) {
+          busy_us = &obs::counter("serve/worker" + std::to_string(index + 1) +
+                                  "_busy_us");
+        }
+        busy_us->add(static_cast<std::uint64_t>(request_us));
+      }
       responses.fetch_add(1, std::memory_order_relaxed);
       inflight.fetch_sub(1, std::memory_order_relaxed);
+      completion.conn = std::move(task->conn);
+      completion.slot_id = task->slot_id;
+      completion.corr = std::move(task->corr);
+      completion.verb = std::move(task->verb);
+      completion.wall_us = request_us;
+      completion.depth_at_admit = task->depth_at_admit;
       {
         std::lock_guard<std::mutex> lock(completions_mutex);
-        completions.push_back(
-            {std::move(task->conn), task->slot_id, std::move(body)});
+        completions.push_back(std::move(completion));
       }
       wake();
     }
@@ -310,6 +355,9 @@ struct Server::Impl {
     }
     for (auto& completion : batch) {
       const auto& conn = completion.conn;
+      log_access(conn->id, completion.corr, completion.verb,
+                 completion.ok ? "ok" : "error", completion.depth_at_admit,
+                 completion.wall_us, completion.cache_hit ? "hit" : "miss");
       if (conn->dead) continue;  // client vanished mid-job: drop result
       for (auto& slot : conn->slots) {
         if (slot.id == completion.slot_id) {
@@ -367,9 +415,9 @@ struct Server::Impl {
   /// allows, then surface a protocol error (oversized frame) and flush.
   void pump(const std::shared_ptr<Conn>& conn) {
     while (can_read_frames(*conn)) {
-      auto payload = conn->reader.next();
-      if (!payload) break;
-      dispatch(conn, *payload);
+      auto frame = conn->reader.next_frame();
+      if (!frame) break;
+      dispatch(conn, frame->payload, frame->corr);
     }
     if (conn->reader.overflowed() && !conn->fatal) {
       bad_frames.fetch_add(1, std::memory_order_relaxed);
@@ -399,10 +447,36 @@ struct Server::Impl {
     conn->slots.push_back({conn->next_slot_id++, true, std::move(body)});
   }
 
-  void dispatch(const std::shared_ptr<Conn>& conn, const std::string& line) {
+  /// One FORMATS.md §7 access-log line.  Only ever called from the
+  /// event-loop thread (inline verbs and rejects in dispatch, job
+  /// completions in apply_completions), so the stream needs no lock.
+  void log_access(std::uint64_t conn_id, const std::string& corr,
+                  const std::string& verb, const char* status,
+                  std::uint64_t depth, double wall_us, const char* cache) {
+    if (!access_log.is_open()) return;
+    const auto ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           Clock::now() - start_time)
+                           .count();
+    access_log << "{\"type\":\"serve.access\",\"ts_us\":" << ts_us
+               << ",\"conn\":" << conn_id << ",\"corr\":\""
+               << obs::json_escape(corr) << "\",\"verb\":\""
+               << obs::json_escape(verb) << "\",\"status\":\"" << status
+               << "\",\"queue_depth\":" << depth
+               << ",\"wall_us\":" << static_cast<std::uint64_t>(wall_us)
+               << ",\"cache\":"
+               << (cache == nullptr ? std::string("null")
+                                    : "\"" + std::string(cache) + "\"")
+               << "}\n";
+    access_log.flush();
+  }
+
+  void dispatch(const std::shared_ptr<Conn>& conn, const std::string& line,
+                const std::string& corr) {
     const std::string verb = first_token(line);
+    const std::uint64_t depth = queue_depth.load(std::memory_order_relaxed);
     if (verb == "stats") {
       add_done_slot(conn, "ok stats " + snapshot().text());
+      log_access(conn->id, corr, verb, "ok", depth, 0, nullptr);
       return;
     }
     if (verb == "health") {
@@ -410,6 +484,14 @@ struct Server::Impl {
                               (draining.load(std::memory_order_relaxed)
                                    ? "draining"
                                    : "serving"));
+      log_access(conn->id, corr, verb, "ok", depth, 0, nullptr);
+      return;
+    }
+    if (verb == "metrics") {
+      // Prometheus text over the framed protocol — what `socet top`
+      // polls so it needs no HTTP listener.
+      add_done_slot(conn, "ok metrics\n" + exposition());
+      log_access(conn->id, corr, verb, "ok", depth, 0, nullptr);
       return;
     }
     if (draining.load(std::memory_order_relaxed)) {
@@ -417,9 +499,9 @@ struct Server::Impl {
       SOCET_COUNT("serve/busy_rejects");
       SOCET_EVENT("serve/busy", {"conn", conn->id}, {"why", "draining"});
       add_done_slot(conn, "busy draining");
+      log_access(conn->id, corr, verb, "busy", depth, 0, nullptr);
       return;
     }
-    const std::uint64_t depth = queue_depth.load(std::memory_order_relaxed);
     if (depth >= options.max_queue) {
       busy_rejects.fetch_add(1, std::memory_order_relaxed);
       SOCET_COUNT("serve/busy_rejects");
@@ -428,15 +510,29 @@ struct Server::Impl {
       add_done_slot(conn, "busy queue=" + std::to_string(depth) +
                               " limit=" +
                               std::to_string(options.max_queue));
+      log_access(conn->id, corr, verb, "busy", depth, 0, nullptr);
       return;
     }
     requests.fetch_add(1, std::memory_order_relaxed);
     SOCET_COUNT("serve/requests");
     queue_depth.fetch_add(1, std::memory_order_relaxed);
     SOCET_GAUGE_MAX("serve/queue_depth", depth + 1);
+    std::uint64_t hwm = queue_hwm.load(std::memory_order_relaxed);
+    while (depth + 1 > hwm &&
+           !queue_hwm.compare_exchange_weak(hwm, depth + 1,
+                                            std::memory_order_relaxed)) {
+    }
     const std::uint64_t slot_id = conn->next_slot_id++;
     conn->slots.push_back({slot_id, false, {}});
-    queue.push({conn, slot_id, next_ordinal++, line});
+    Task task;
+    task.conn = conn;
+    task.slot_id = slot_id;
+    task.ordinal = next_ordinal++;
+    task.line = line;
+    task.corr = corr;
+    task.verb = verb;
+    task.depth_at_admit = depth + 1;
+    queue.push(std::move(task));
   }
 
   void flush_ready(const std::shared_ptr<Conn>& conn) {
@@ -489,6 +585,30 @@ struct Server::Impl {
     SOCET_EVENT("serve/conn", {"conn", conn->id}, {"event", "close"});
   }
 
+  /// The full Prometheus exposition: everything in the registry plus a
+  /// handful of live server gauges that only exist as atomics here.
+  /// (Registry families named `socet_serve_*` already exist — e.g. the
+  /// `serve/queue_depth` high-water gauge — so the live values use a
+  /// distinct `live_` spelling to keep each family unique.)
+  [[nodiscard]] std::string exposition() const {
+    std::string out = obs::prometheus_text();
+    const ServerStats s = snapshot();
+    const auto gauge = [&out](const char* name, std::uint64_t value) {
+      out += std::string("# TYPE ") + name + " gauge\n";
+      out += std::string(name) + " " + std::to_string(value) + "\n";
+    };
+    gauge("socet_serve_up", 1);
+    gauge("socet_serve_worker_count", s.workers);
+    gauge("socet_serve_connections_open", s.connections_open);
+    gauge("socet_serve_live_queue_depth", s.queue_depth);
+    gauge("socet_serve_queue_depth_hwm", s.queue_depth_hwm);
+    gauge("socet_serve_live_inflight", s.inflight);
+    gauge("socet_serve_draining", s.draining ? 1 : 0);
+    gauge("socet_serve_cache_entries", s.cache_entries);
+    gauge("socet_serve_cache_bytes", s.cache_bytes);
+    return out;
+  }
+
   [[nodiscard]] ServerStats snapshot() const {
     ServerStats stats;
     stats.connections_accepted = accepted.load(std::memory_order_relaxed);
@@ -499,6 +619,7 @@ struct Server::Impl {
     stats.busy_rejects = busy_rejects.load(std::memory_order_relaxed);
     stats.bad_frames = bad_frames.load(std::memory_order_relaxed);
     stats.queue_depth = queue_depth.load(std::memory_order_relaxed);
+    stats.queue_depth_hwm = queue_hwm.load(std::memory_order_relaxed);
     stats.inflight = inflight.load(std::memory_order_relaxed);
     stats.workers = options.threads;
     stats.draining = draining.load(std::memory_order_relaxed);
@@ -544,6 +665,53 @@ void Server::start() {
     util::require(file.good(), "cannot write port file '" +
                                    impl_->options.port_file + "'");
   }
+  // Telemetry plane: set up before any thread runs so the event loop
+  // never races the access-log open and the first scrape finds a window
+  // baseline.  Any telemetry flag turns metrics collection on — the
+  // registry renders to HTTP/side files only, so wire responses and
+  // stdout are untouched.
+  if (impl_->options.metrics_http || !impl_->options.access_log.empty()) {
+    obs::set_metrics_enabled(true);
+    impl_->ticker.start(impl_->options.window_interval);
+  }
+  if (!impl_->options.access_log.empty()) {
+    impl_->access_log.open(impl_->options.access_log, std::ios::app);
+    util::require(impl_->access_log.is_open(),
+                  "cannot open access log '" + impl_->options.access_log +
+                      "'");
+  }
+  if (impl_->options.metrics_http) {
+    HttpdOptions http_options;
+    http_options.host = impl_->options.metrics_host;
+    http_options.port = impl_->options.metrics_port;
+    http_options.port_file = impl_->options.metrics_port_file;
+    Impl* impl = impl_.get();
+    impl_->httpd.start(
+        http_options,
+        [impl](const std::string& method,
+               const std::string& path) -> HttpResponse {
+          if (method != "GET") {
+            return {405, "text/plain; charset=utf-8", "method not allowed\n"};
+          }
+          if (path == "/metrics") {
+            return {200, "text/plain; version=0.0.4; charset=utf-8",
+                    impl->exposition()};
+          }
+          if (path == "/healthz") {
+            return {200, "text/plain; charset=utf-8", "ok\n"};
+          }
+          if (path == "/readyz") {
+            // Readiness flips during drain so a load balancer stops
+            // routing to a daemon that will `busy` every job.
+            return impl->draining.load(std::memory_order_relaxed)
+                       ? HttpResponse{503, "text/plain; charset=utf-8",
+                                      "draining\n"}
+                       : HttpResponse{200, "text/plain; charset=utf-8",
+                                      "ready\n"};
+          }
+          return {404, "text/plain; charset=utf-8", "not found\n"};
+        });
+  }
   impl_->workers.reserve(impl_->options.threads);
   for (unsigned t = 0; t < impl_->options.threads; ++t) {
     impl_->workers.emplace_back([this, t] { impl_->worker_main(t); });
@@ -554,6 +722,8 @@ void Server::start() {
 
 unsigned short Server::port() const { return impl_->bound_port; }
 
+unsigned short Server::metrics_port() const { return impl_->httpd.port(); }
+
 void Server::request_drain() {
   impl_->drain_requested.store(true, std::memory_order_release);
   if (impl_->started) impl_->wake();
@@ -563,6 +733,12 @@ void Server::wait() {
   if (!impl_->started || impl_->joined) return;
   impl_->loop_thread.join();
   for (auto& worker : impl_->workers) worker.join();
+  // The telemetry listener outlives the event loop on purpose: /readyz
+  // answers 503 for the whole drain, and the last scrape still sees the
+  // final counters.  Stop it only once the daemon is fully quiesced.
+  impl_->httpd.stop();
+  impl_->ticker.stop();
+  if (impl_->access_log.is_open()) impl_->access_log.close();
   impl_->joined = true;
 }
 

@@ -21,6 +21,8 @@
 #include "socet/obs/jsonin.hpp"
 #include "socet/obs/trace.hpp"
 #include "socet/opt/optimize.hpp"
+#include "socet/service/client.hpp"
+#include "socet/service/server.hpp"
 #include "socet/service/service.hpp"
 #include "socet/soc/parallel.hpp"
 #include "socet/soc/schedule.hpp"
@@ -377,6 +379,43 @@ TEST_F(JournalTest, ServiceJobsCarryCacheProvenance) {
   ASSERT_EQ(cache_outcomes.size(), 2u);
   EXPECT_EQ(cache_outcomes[0], "miss");
   EXPECT_EQ(cache_outcomes[1], "hit");
+}
+
+TEST_F(JournalTest, ServeJournalCarriesWireCorrelationIds) {
+  // The daemon path: corr ids travel in the frame header, the worker
+  // opens its JournalScope under them, and a journal produced by
+  // `socet serve` reads exactly like a local batch one — `socet
+  // explain` queries transfer unchanged.
+  obs::journal_start_memory();
+  {
+    service::ServerOptions options;
+    options.threads = 1;  // FIFO: job-1's events land before job-2's
+    service::Server server(std::move(options));
+    server.start();
+    service::ClientOptions client_options;
+    client_options.port = server.port();
+    service::Client client(client_options);
+    (void)client.run_lines({"plan system=barcode selection=1,2,1",
+                            "plan system=barcode selection=1,2,1"});
+    server.request_drain();
+    server.wait();  // workers joined: every journal writer is done
+  }
+  obs::journal_stop();
+
+  const obs::JournalDoc doc = load_or_die(obs::journal_jsonl());
+  std::vector<std::string> corrs;
+  for (const obs::JsonValue& event : doc.events) {
+    if (str_field(event, "type") != "service/job") continue;
+    corrs.push_back(str_field(event, "corr"));
+  }
+  ASSERT_EQ(corrs.size(), 2u);
+  EXPECT_EQ(corrs[0], "job-1");  // the wire id, not the req-N fallback
+  EXPECT_EQ(corrs[1], "job-2");
+
+  // The plan decisions recorded under that scope surface the same id.
+  const std::string route = obs::explain_route(doc, "CPU");
+  EXPECT_NE(route.find("explain route \"CPU\""), std::string::npos) << route;
+  EXPECT_NE(route.find("corr=job-1"), std::string::npos) << route;
 }
 
 TEST_F(JournalTest, LoadJournalRejectsMalformedDocuments) {

@@ -175,6 +175,35 @@ TEST_F(ObsTest, QuantilesAreMonotoneAndWithinRange) {
   EXPECT_LT(p50, 1000.0);
 }
 
+TEST_F(ObsTest, TopBucketInterpolatesToTheObservedMaxNotTheBound) {
+  // 96 samples land in the (64, 128] bucket and 4 in (512, 1024].  The
+  // p99 rank falls inside that final occupied bucket, whose power-of-two
+  // ceiling (1024) is nearly twice the real maximum (513): the estimate
+  // must interpolate toward the observed max, not the bucket bound.
+  obs::Histogram h;
+  for (int i = 0; i < 96; ++i) h.record(100);
+  for (int i = 0; i < 4; ++i) h.record(513);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GT(p99, 512.0);
+  EXPECT_LT(p99, 513.0 + 1e-9);
+  // The first occupied bucket is floored at the observed min, so the
+  // median cannot dip below any recorded value.
+  const double p50 = h.quantile(0.50);
+  EXPECT_GE(p50, 100.0);
+  EXPECT_LE(p50, 128.0);
+}
+
+TEST_F(ObsTest, BucketQuantileWithoutObservedExtremesFloorsTheOverflow) {
+  // Window deltas only have bucket counts — no live min/max.  All mass
+  // in the overflow bucket must report that bucket's floor (the largest
+  // finite bound), not infinity or the ~0 sentinel.
+  std::uint64_t buckets[obs::Histogram::kBuckets] = {};
+  buckets[obs::Histogram::kBuckets - 1] = 5;
+  const double q = obs::bucket_quantile(buckets, 5, 0.99, false, 0, 0);
+  EXPECT_EQ(q, static_cast<double>(
+                   obs::Histogram::bucket_bound(obs::Histogram::kBuckets - 2)));
+}
+
 TEST_F(ObsTest, ResetClearsEverything) {
   obs::Histogram h;
   h.record(5);

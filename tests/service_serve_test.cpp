@@ -13,10 +13,12 @@
 #include <cstdio>
 #include <fstream>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "socet/obs/metrics.hpp"
 #include "socet/service/cache.hpp"
 #include "socet/service/client.hpp"
 #include "socet/service/protocol.hpp"
@@ -67,6 +69,66 @@ TEST(FrameReader, EncodeRejectsOversizedPayloads) {
   EXPECT_THROW(
       service::encode_frame(std::string(service::kMaxFrameBytes + 1, 'x')),
       util::Error);
+}
+
+TEST(FrameReader, CorrFlagCarriesACorrelationId) {
+  const std::string wire =
+      service::encode_frame("plan system=barcode", "job-7") +
+      service::encode_frame("stats");
+  // One byte at a time again: the corr extension spans every boundary.
+  service::FrameReader reader;
+  std::vector<service::FrameReader::Frame> frames;
+  for (char byte : wire) {
+    reader.feed(&byte, 1);
+    while (auto frame = reader.next_frame()) frames.push_back(*frame);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].payload, "plan system=barcode");
+  EXPECT_EQ(frames[0].corr, "job-7");
+  EXPECT_EQ(frames[1].payload, "stats");
+  EXPECT_EQ(frames[1].corr, "");
+
+  // next() is corr-oblivious: same payloads, id discarded.
+  service::FrameReader plain;
+  plain.feed(wire.data(), wire.size());
+  EXPECT_EQ(plain.next().value(), "plan system=barcode");
+  EXPECT_EQ(plain.next().value(), "stats");
+}
+
+TEST(FrameReader, MalformedCorrLengthLatchesLikeAnOversizedFrame) {
+  // A flagged header announcing 2 body bytes whose corr_len byte claims
+  // 5 bytes of corr: the stream cannot be trusted from here on.
+  service::FrameReader reader;
+  const char bad[] = {'\x80', '\x00', '\x00', '\x02', '\x05', 'x'};
+  reader.feed(bad, sizeof(bad));
+  EXPECT_FALSE(reader.next_frame().has_value());
+  EXPECT_TRUE(reader.overflowed());
+  EXPECT_EQ(reader.announced(), 0x80000002u);
+}
+
+TEST(Protocol, EncodeRejectsOversizedCorrIds) {
+  EXPECT_THROW(service::encode_frame("x", std::string(256, 'c')),
+               util::Error);
+  // At the limit it round-trips.
+  const std::string frame =
+      service::encode_frame("x", std::string(255, 'c'));
+  service::FrameReader reader;
+  reader.feed(frame.data(), frame.size());
+  const auto decoded = reader.next_frame();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->corr.size(), 255u);
+  EXPECT_EQ(decoded->payload, "x");
+}
+
+TEST(Protocol, BlockingReadStripsTheCorrExtension) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  service::write_frame(fds[0], "ok plan tat=42", "job-3");
+  ::close(fds[0]);
+  const auto payload = service::read_frame(fds[1]);
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, "ok plan tat=42");
+  ::close(fds[1]);
 }
 
 TEST(Protocol, ParseHostPort) {
@@ -433,6 +495,160 @@ TEST(Serve, ByteBoundedCacheReportsEvictionsInStats) {
   EXPECT_NE(text.find("cache_evicted_bytes="), std::string::npos) << text;
 }
 
+// --------------------------------------------------------------- telemetry
+
+TEST(Serve, StatsReportTheQueueHighWaterMark) {
+  WorkerGate gate;
+  service::ServerOptions options;
+  options.threads = 1;
+  options.before_execute = gate.hook();
+  service::Server server(std::move(options));
+  server.start();
+
+  const int fd = service::net_connect("127.0.0.1", server.port());
+  service::write_frame(fd, "plan system=barcode");
+  gate.wait_entered(1);  // job 1 has been popped: the queue is empty
+  service::write_frame(fd, "explore system=barcode");
+  service::write_frame(fd, "program system=barcode");
+  while (server.stats().queue_depth < 2) std::this_thread::sleep_for(1ms);
+  gate.release();
+  for (int job = 0; job < 3; ++job) {
+    ASSERT_TRUE(service::read_frame(fd).has_value());
+  }
+  ::close(fd);
+
+  EXPECT_EQ(server.stats().queue_depth_hwm, 2u);
+  auto client = connect_to(server);
+  const std::string text = client.query("stats");
+  EXPECT_NE(text.find(" queue_hwm=2 "), std::string::npos) << text;
+}
+
+TEST(Serve, MetricsVerbAndAccessLogCarryTheTelemetry) {
+  const std::string log_path = testing::TempDir() + "serve_access.jsonl";
+  std::remove(log_path.c_str());
+  service::ServerOptions options;
+  // One worker: the duplicate plan job deterministically hits the
+  // cache (with more, it can race the first copy's fill and miss).
+  options.threads = 1;
+  options.access_log = log_path;  // any telemetry flag enables metrics
+  service::Server server(std::move(options));
+  server.start();
+  {
+    auto client = connect_to(server);
+    EXPECT_EQ(client.run_lines(kJobFile).errors, 1u);
+    const std::string reply = client.query("metrics");
+    EXPECT_EQ(reply.rfind("ok metrics\n", 0), 0u) << reply;
+    EXPECT_NE(reply.find("socet_serve_requests_total"), std::string::npos)
+        << reply;
+    EXPECT_NE(reply.find("socet_serve_up 1"), std::string::npos) << reply;
+    // The 1m window must already hold this batch: the baseline slot is
+    // captured when the server starts, so the delta sees every job.
+    EXPECT_NE(reply.find("socet_window_serve_request_us{window=\"1m\","
+                         "quantile=\"0.5\"}"),
+              std::string::npos)
+        << reply;
+    const std::string count_key =
+        "socet_window_serve_request_us_count{window=\"1m\"} ";
+    const auto at = reply.find(count_key);
+    ASSERT_NE(at, std::string::npos) << reply;
+    // kJobFile carries 8 jobs (comments/blanks are skipped).
+    EXPECT_GE(std::stod(reply.substr(at + count_key.size())), 8.0) << reply;
+  }
+  server.request_drain();
+  server.wait();
+
+  std::ifstream log(log_path);
+  ASSERT_TRUE(log.is_open());
+  std::ostringstream raw;
+  raw << log.rdbuf();
+  const std::string lines = raw.str();
+  EXPECT_NE(lines.find("\"type\":\"serve.access\""), std::string::npos);
+  EXPECT_NE(lines.find("\"corr\":\"job-1\""), std::string::npos) << lines;
+  EXPECT_NE(lines.find("\"verb\":\"plan\""), std::string::npos);
+  EXPECT_NE(lines.find("\"verb\":\"metrics\""), std::string::npos);
+  EXPECT_NE(lines.find("\"status\":\"error\""), std::string::npos);
+  EXPECT_NE(lines.find("\"cache\":\"hit\""), std::string::npos) << lines;
+  std::remove(log_path.c_str());
+}
+
+/// One serial HTTP/1.0 exchange against the embedded metrics listener.
+std::string http_get(unsigned short port, const std::string& request_line) {
+  const int fd = service::net_connect("127.0.0.1", port);
+  const std::string request = request_line + "\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  ssize_t n = 0;
+  while ((n = ::read(fd, buffer, sizeof(buffer))) > 0) {
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(Serve, HttpEndpointsServeMetricsAndFlipReadinessDuringDrain) {
+  WorkerGate gate;
+  service::ServerOptions options;
+  options.threads = 1;
+  options.metrics_http = true;  // port 0: the OS picks one
+  options.before_execute = gate.hook();
+  service::Server server(std::move(options));
+  server.start();
+  const unsigned short mport = server.metrics_port();
+  ASSERT_GT(mport, 0);
+
+  EXPECT_NE(http_get(mport, "GET /healthz HTTP/1.0").find("200 OK\r\n"),
+            std::string::npos);
+  EXPECT_NE(http_get(mport, "GET /readyz HTTP/1.0").find("ready"),
+            std::string::npos);
+  const std::string metrics = http_get(mport, "GET /metrics HTTP/1.0");
+  EXPECT_NE(metrics.find("200 OK\r\n"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("# TYPE"), std::string::npos);
+  EXPECT_NE(metrics.find("socet_serve_up 1"), std::string::npos);
+  EXPECT_NE(http_get(mport, "GET /nope HTTP/1.0").find("404"),
+            std::string::npos);
+  EXPECT_NE(http_get(mport, "POST /metrics HTTP/1.0").find("405"),
+            std::string::npos);
+
+  // Park the only worker, then drain: /readyz must flip to 503 while
+  // the admitted job is still running, and stay reachable until wait()
+  // returns (the listener outlives the event loop).
+  const int fd = service::net_connect("127.0.0.1", server.port());
+  service::write_frame(fd, "plan system=barcode");
+  gate.wait_entered(1);
+  server.request_drain();
+  std::string ready;
+  while ((ready = http_get(mport, "GET /readyz HTTP/1.0")).find("503") ==
+         std::string::npos) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_NE(ready.find("draining"), std::string::npos) << ready;
+  EXPECT_NE(http_get(mport, "GET /healthz HTTP/1.0").find("200 OK\r\n"),
+            std::string::npos);
+  gate.release();
+  ASSERT_TRUE(service::read_frame(fd).has_value());
+  ::close(fd);
+  server.wait();
+  EXPECT_THROW(service::net_connect("127.0.0.1", mport), util::Error);
+}
+
+TEST(Serve, TelemetryLeavesRecordsByteIdentical) {
+  const std::string expected = serial_records(kJobFile);
+  const std::string log_path =
+      testing::TempDir() + "serve_identity_access.jsonl";
+  std::remove(log_path.c_str());
+  service::ServerOptions options;
+  options.threads = 3;
+  options.metrics_http = true;
+  options.access_log = log_path;
+  service::Server server(std::move(options));
+  server.start();
+  auto client = connect_to(server);
+  EXPECT_EQ(client.run_lines(kJobFile).records_text(), expected);
+  std::remove(log_path.c_str());
+}
+
 // --------------------------------------------------------------------- CLI
 
 struct CliRun {
@@ -496,6 +712,34 @@ TEST(Cli, ClientRejectsBadArguments) {
   // Nothing is listening on a fresh ephemeral port's neighbour; a
   // connect failure is an error, not a hang.
   EXPECT_EQ(run_cli("serve --threads 0").exit_code, 1);
+}
+
+TEST(Cli, TopAndMetricsVerbRenderLiveTelemetry) {
+  const std::string log_path = testing::TempDir() + "top_access.jsonl";
+  std::remove(log_path.c_str());
+  service::ServerOptions options;
+  options.threads = 2;
+  options.access_log = log_path;  // turns the telemetry plane on
+  service::Server server(std::move(options));
+  server.start();
+  const std::string connect =
+      "127.0.0.1:" + std::to_string(server.port());
+  auto client = connect_to(server);  // seed some traffic to display
+  client.run_lines({"plan system=barcode", "explore system=barcode",
+                    "plan system=barcode"});
+
+  const CliRun top = run_cli("top --connect " + connect +
+                             " --iterations 2 --interval-ms 10");
+  EXPECT_EQ(top.exit_code, 0) << top.output;
+  EXPECT_NE(top.output.find("socet top"), std::string::npos) << top.output;
+  EXPECT_NE(top.output.find("p95_us"), std::string::npos) << top.output;
+  EXPECT_NE(top.output.find("1m"), std::string::npos) << top.output;
+
+  const CliRun metrics = run_cli("client --connect " + connect + " metrics");
+  EXPECT_EQ(metrics.exit_code, 0);
+  EXPECT_EQ(metrics.output.rfind("ok metrics", 0), 0u) << metrics.output;
+  EXPECT_NE(metrics.output.find("socet_serve_up 1"), std::string::npos);
+  std::remove(log_path.c_str());
 }
 
 }  // namespace

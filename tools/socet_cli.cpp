@@ -8,7 +8,8 @@
 //   socet parallel [--system ...] [--selection 1,2,3]  # session schedule
 //   socet batch    --jobs FILE [--threads N] # planning service (one job/line)
 //   socet serve    [--port N] [--threads N]  # persistent planning daemon
-//   socet client   --connect HOST:PORT (--jobs FILE | stats | health)
+//   socet client   --connect HOST:PORT (--jobs FILE | stats | health | metrics)
+//   socet top      --connect HOST:PORT [--interval-ms N]  # live dashboard
 //   socet sweep    [--system ...] [--threads N]  # parallel explore
 //   socet program  [--system ...]            # assembled test program
 //   socet verilog  --core CPU [--gates]      # Verilog to stdout
@@ -17,13 +18,18 @@
 //   socet explain  mux|version|route|reject [NAME [VERSION]] --journal FILE
 //
 // Core names: CPU, PREPROCESSOR, DISPLAY, GRAPHICS, GCD, X25.
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <iterator>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "socet/core/serialize.hpp"
@@ -315,14 +321,33 @@ int cmd_serve(const Args& args) {
   options.client_window =
       parse_option_count(args, "window", options.client_window);
   options.port_file = args.get("port-file", "");
+  // Telemetry plane (docs/SERVICE.md "Live daemon telemetry").
+  options.metrics_http =
+      args.has("metrics-port") || args.has("metrics-port-file");
+  if (args.has("metrics-port")) {
+    options.metrics_port =
+        static_cast<unsigned short>(parse_option_count(args, "metrics-port", 0));
+  }
+  options.metrics_host = args.get("metrics-host", options.metrics_host);
+  options.metrics_port_file = args.get("metrics-port-file", "");
+  options.access_log = args.get("access-log", "");
+  options.window_interval = std::chrono::milliseconds(parse_option_count(
+      args, "metrics-interval-ms",
+      static_cast<unsigned long>(options.window_interval.count())));
   const std::string host = options.host;
   const unsigned threads = options.threads;
+  const bool metrics_http = options.metrics_http;
+  const std::string metrics_host = options.metrics_host;
   service::Server server(std::move(options));
   server.start();
   server.install_signal_handlers();
   std::fprintf(stderr, "socet serve: listening on %s:%u (%u worker%s)\n",
                host.c_str(), server.port(), threads,
                threads == 1 ? "" : "s");
+  if (metrics_http) {
+    std::fprintf(stderr, "socet serve: telemetry on http://%s:%u/metrics\n",
+                 metrics_host.c_str(), server.metrics_port());
+  }
   server.wait();  // until SIGTERM/SIGINT drains the daemon
   std::fprintf(stderr, "socet serve: drained: %s\n",
                server.stats().text().c_str());
@@ -331,14 +356,168 @@ int cmd_serve(const Args& args) {
 
 int cmd_client(const Args& args) {
   const std::string verb = args.positional(0);
-  if (verb == "stats" || verb == "health") {
+  if (verb == "stats" || verb == "health" || verb == "metrics") {
     service::Client client(client_options(args));
     std::printf("%s\n", client.query(verb).c_str());
     return 0;
   }
-  util::require(verb.empty(), "unknown client verb '" + verb +
-                                  "' (use stats|health or --jobs FILE)");
+  util::require(verb.empty(),
+                "unknown client verb '" + verb +
+                    "' (use stats|health|metrics or --jobs FILE)");
   return run_remote_jobs(args, "client");
+}
+
+/// Parse one Prometheus exposition into {sample line -> value}, keyed
+/// by the full sample name including labels.
+std::map<std::string, double> parse_exposition(const std::string& text) {
+  std::map<std::string, double> samples;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0) continue;
+    samples[line.substr(0, space)] =
+        std::strtod(line.c_str() + space + 1, nullptr);
+  }
+  return samples;
+}
+
+/// Parse "ok stats k=v k=v ..." into {k -> v}.
+std::map<std::string, std::uint64_t> parse_stats(const std::string& reply) {
+  std::map<std::string, std::uint64_t> stats;
+  std::size_t pos = 0;
+  while (pos < reply.size()) {
+    std::size_t end = reply.find(' ', pos);
+    if (end == std::string::npos) end = reply.size();
+    const std::string token = reply.substr(pos, end - pos);
+    pos = end + 1;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) continue;
+    stats[token.substr(0, eq)] =
+        std::strtoull(token.c_str() + eq + 1, nullptr, 10);
+  }
+  return stats;
+}
+
+double window_sample(const std::map<std::string, double>& samples,
+                     const char* window, const char* quantile) {
+  const std::string key = std::string("socet_window_serve_request_us{window=\"") +
+                          window + "\",quantile=\"" + quantile + "\"}";
+  const auto it = samples.find(key);
+  return it == samples.end() ? 0.0 : it->second;
+}
+
+/// `socet top`: poll stats + metrics over the framed protocol and
+/// render a refreshing dashboard.  Requires a daemon started with a
+/// telemetry flag (--metrics-port or --access-log) for the window
+/// quantiles and busy%; throughput and queue figures work regardless.
+int cmd_top(const Args& args) {
+  const auto interval_ms = parse_option_count(args, "interval-ms", 1000);
+  // 0 = until interrupted; tests and CI pass a small bound.
+  const auto iterations = parse_option_count(args, "iterations", 0);
+  service::Client client(client_options(args));
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+
+  std::map<std::string, std::uint64_t> prev_stats;
+  std::map<std::string, double> prev_samples;
+  auto prev_at = std::chrono::steady_clock::now();
+  for (unsigned long i = 0; iterations == 0 || i < iterations; ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    const auto stats = parse_stats(client.query("stats"));
+    const auto samples = parse_exposition(client.query("metrics"));
+    const auto now = std::chrono::steady_clock::now();
+    const double elapsed_s =
+        std::chrono::duration<double>(now - prev_at).count();
+    const auto stat = [&stats](const char* key) -> std::uint64_t {
+      const auto it = stats.find(key);
+      return it == stats.end() ? 0 : it->second;
+    };
+    const auto rate = [&](const char* key) -> double {
+      if (i == 0 || elapsed_s <= 0) return 0.0;
+      const auto it = prev_stats.find(key);
+      const std::uint64_t prev = it == prev_stats.end() ? 0 : it->second;
+      return static_cast<double>(stat(key) - prev) / elapsed_s;
+    };
+
+    if (tty) std::printf("\033[H\033[2J");
+    std::printf("socet top — %s — workers=%llu conns=%llu draining=%llu\n",
+                args.get("connect", "").c_str(),
+                static_cast<unsigned long long>(stat("workers")),
+                static_cast<unsigned long long>(stat("connections")),
+                static_cast<unsigned long long>(stat("draining")));
+    std::printf(
+        "requests=%llu (%.1f/s)  responses=%llu (%.1f/s)  errors=%llu  "
+        "busy=%llu\n",
+        static_cast<unsigned long long>(stat("requests")), rate("requests"),
+        static_cast<unsigned long long>(stat("responses")), rate("responses"),
+        static_cast<unsigned long long>(stat("errors")),
+        static_cast<unsigned long long>(stat("busy")));
+    std::printf("queue depth=%llu hwm=%llu inflight=%llu\n",
+                static_cast<unsigned long long>(stat("queue_depth")),
+                static_cast<unsigned long long>(stat("queue_hwm")),
+                static_cast<unsigned long long>(stat("inflight")));
+    const std::uint64_t hits = stat("cache_hits");
+    const std::uint64_t misses = stat("cache_misses");
+    std::printf(
+        "cache hits=%llu misses=%llu hit%%=%.1f evictions=%llu "
+        "evicted_bytes=%llu entries=%llu bytes=%llu\n",
+        static_cast<unsigned long long>(hits),
+        static_cast<unsigned long long>(misses),
+        hits + misses == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(hits) /
+                  static_cast<double>(hits + misses),
+        static_cast<unsigned long long>(stat("cache_evictions")),
+        static_cast<unsigned long long>(stat("cache_evicted_bytes")),
+        static_cast<unsigned long long>(stat("cache_entries")),
+        static_cast<unsigned long long>(stat("cache_bytes")));
+
+    util::Table windows({"window", "p50_us", "p95_us", "p99_us", "count"});
+    for (const char* window : {"1m", "5m", "15m"}) {
+      const auto count_it = samples.find(
+          std::string("socet_window_serve_request_us_count{window=\"") +
+          window + "\"}");
+      windows.add_row(
+          {window, util::Table::num(window_sample(samples, window, "0.5")),
+           util::Table::num(window_sample(samples, window, "0.95")),
+           util::Table::num(window_sample(samples, window, "0.99")),
+           count_it == samples.end()
+               ? "-"
+               : std::to_string(
+                     static_cast<std::uint64_t>(count_it->second))});
+    }
+    std::printf("%s", windows.to_text().c_str());
+
+    std::printf("worker busy%%:");
+    const std::uint64_t workers = stat("workers");
+    for (std::uint64_t w = 1; w <= workers; ++w) {
+      const std::string key =
+          "socet_serve_worker" + std::to_string(w) + "_busy_us_total";
+      const auto it = samples.find(key);
+      const double busy_us = it == samples.end() ? 0.0 : it->second;
+      const auto prev_it = prev_samples.find(key);
+      const double prev_us =
+          prev_it == prev_samples.end() ? 0.0 : prev_it->second;
+      const double pct =
+          (i == 0 || elapsed_s <= 0)
+              ? 0.0
+              : 100.0 * (busy_us - prev_us) / (elapsed_s * 1e6);
+      std::printf(" w%llu=%.1f%%", static_cast<unsigned long long>(w), pct);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+
+    prev_stats = stats;
+    prev_samples = samples;
+    prev_at = now;
+  }
+  return 0;
 }
 
 int cmd_sweep(const Args& args) {
@@ -466,10 +645,19 @@ int usage() {
       "  serve     [--host H] [--port N] [--threads N] [--cache N]\n"
       "            [--cache-bytes N] [--max-queue N] [--window N]\n"
       "            [--port-file FILE]\n"
+      "            [--metrics-port N] [--metrics-host H]\n"
+      "            [--metrics-port-file FILE] [--access-log FILE]\n"
+      "            [--metrics-interval-ms N]\n"
       "            (persistent planning daemon, docs/SERVICE.md; drain\n"
-      "            with SIGTERM; wire protocol in docs/FORMATS.md §6)\n"
-      "  client    --connect HOST:PORT (--jobs FILE|- | stats | health)\n"
-      "            [--window N]\n"
+      "            with SIGTERM; wire protocol in docs/FORMATS.md §6;\n"
+      "            --metrics-port serves GET /metrics /healthz /readyz,\n"
+      "            --access-log writes one serve.access JSONL line per\n"
+      "            request, docs/FORMATS.md §7)\n"
+      "  client    --connect HOST:PORT (--jobs FILE|- | stats | health |\n"
+      "            metrics) [--window N]\n"
+      "  top       --connect HOST:PORT [--interval-ms N] [--iterations N]\n"
+      "            (live dashboard over stats+metrics; daemon needs a\n"
+      "            telemetry flag for window quantiles and busy%%)\n"
       "  sweep     [--system ...] [--threads N] (parallel explore)\n"
       "  program   [--system ...] [--selection 1,2,3]\n"
       "  verilog   --core NAME [--gates]\n"
@@ -501,9 +689,10 @@ const std::map<std::string, Command>& commands() {
       {"optimize", cmd_optimize}, {"explore", cmd_explore},
       {"batch", cmd_batch},       {"sweep", cmd_sweep},
       {"serve", cmd_serve},       {"client", cmd_client},
-      {"program", cmd_program},   {"parallel", cmd_parallel},
-      {"verilog", cmd_verilog},   {"dot", cmd_dot},
-      {"interface", cmd_interface}, {"explain", cmd_explain}};
+      {"top", cmd_top},           {"program", cmd_program},
+      {"parallel", cmd_parallel}, {"verilog", cmd_verilog},
+      {"dot", cmd_dot},           {"interface", cmd_interface},
+      {"explain", cmd_explain}};
   return table;
 }
 
