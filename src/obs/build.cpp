@@ -1,0 +1,16 @@
+#include "socet/obs/build.hpp"
+
+#ifndef SOCET_VERSION
+#define SOCET_VERSION "unknown"
+#endif
+#ifndef SOCET_GIT_SHA
+#define SOCET_GIT_SHA "unknown"
+#endif
+
+namespace socet::obs {
+
+const char* build_version() { return SOCET_VERSION; }
+
+const char* build_git() { return SOCET_GIT_SHA; }
+
+}  // namespace socet::obs

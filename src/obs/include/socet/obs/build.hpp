@@ -1,0 +1,22 @@
+// Build identity baked in at configure time.
+//
+// The daemon exposes these through the Prometheus exposition as
+//
+//   socet_build_info{version="0.9.0",git="abc1234"} 1
+//   socet_start_time_seconds 1.7e9
+//
+// so dashboards can detect restarts and version skew across a fleet.
+// Values come from the SOCET_VERSION / SOCET_GIT_SHA compile
+// definitions (src/obs/CMakeLists.txt runs `git rev-parse` at
+// configure time); both fall back to "unknown" outside a git checkout.
+#pragma once
+
+namespace socet::obs {
+
+/// Project version string (CMake project VERSION).
+const char* build_version();
+
+/// Short git commit hash of the checkout that configured the build.
+const char* build_git();
+
+}  // namespace socet::obs

@@ -38,6 +38,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <initializer_list>
 #include <string>
 
@@ -59,6 +60,18 @@ void journal_start_memory();
 /// before re-raising with the default disposition.
 void journal_start_flight(std::size_t capacity = 256,
                           bool install_crash_handler = true);
+
+/// Live tap sink: called once per event, at record time, on the
+/// recording thread, with the event type, the thread's correlation id
+/// ("" if none) and the fully rendered JSONL line.  The daemon's
+/// `tail` verb streams these to remote watchers.  One tap per process
+/// (the last call wins); an empty function uninstalls it.  The tap
+/// alone makes `journal_enabled()` true, so keep the callback cheap
+/// and non-blocking — it runs inside every instrumented code path.
+using JournalTapFn =
+    std::function<void(const char* type, const char* corr,
+                       const std::string& line)>;
+void journal_set_tap(JournalTapFn fn);
 
 /// Stop recording (buffers are kept for export).
 void journal_stop();

@@ -44,17 +44,69 @@ struct TraceEvent {
   std::uint64_t end_ns = 0;
 };
 
+/// One closed span with an identity: part of a distributed trace.
+/// Unlike TraceEvent these are self-contained (owned name, explicit
+/// parent link) so they can cross the process boundary (tracemerge.hpp
+/// serializes them for the serve `spans` verb).
+struct SpanRecord {
+  std::string name;
+  std::uint32_t tid = 0;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;   ///< 0 = root of its capture
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+};
+
+/// Process-unique span/trace id: a per-process time-derived seed in the
+/// high bits (so two processes started at different nanoseconds draw
+/// from disjoint ranges) plus an atomic counter.  Never returns 0.
+std::uint64_t new_span_id();
+
 namespace detail {
 void record_span(const char* name, std::uint64_t start_ns,
                  std::uint64_t end_ns);
+bool capture_active();
+void capture_open(std::uint64_t* id, std::uint64_t* parent);
+void capture_close(const char* name, std::uint64_t id, std::uint64_t parent,
+                   std::uint64_t start_ns, std::uint64_t end_ns);
 }  // namespace detail
+
+/// Adopt a remote trace context on the *current thread*: while alive,
+/// every SOCET_SPAN this thread opens is also recorded as a SpanRecord
+/// with a fresh span id, parented under the innermost open span (or
+/// under `remote_parent` at the top).  Independent of the global trace
+/// switch — this is how daemon workers trace one request on behalf of
+/// a client without turning whole-process tracing on.  `take()` hands
+/// the records back; call it after the instrumented scope closed.
+/// Captures do not nest: a second capture on the same thread is
+/// passive (records nothing, take() returns empty).
+class SpanCapture {
+ public:
+  SpanCapture(std::uint64_t trace_id, std::uint64_t remote_parent);
+  ~SpanCapture();
+  SpanCapture(const SpanCapture&) = delete;
+  SpanCapture& operator=(const SpanCapture&) = delete;
+
+  std::uint64_t trace_id() const { return trace_id_; }
+  std::vector<SpanRecord> take();
+
+ private:
+  std::uint64_t trace_id_ = 0;
+  void* state_ = nullptr;  ///< detail::CaptureState*, null if passive
+};
 
 class Span {
  public:
   explicit Span(const char* name) {
-    if (trace_enabled()) {
+    const bool capturing = detail::capture_active();
+    if (trace_enabled()) traced_ = true;
+    if (traced_ || capturing) {
       name_ = name;
       start_ns_ = now_ns();
+    }
+    if (capturing) {
+      captured_ = true;
+      detail::capture_open(&capture_id_, &capture_parent_);
     }
     // The journal's crash dump reports each thread's active spans, so
     // spans also maintain a journal-side stack while it is recording.
@@ -64,7 +116,14 @@ class Span {
     }
   }
   ~Span() {
-    if (name_ != nullptr) detail::record_span(name_, start_ns_, now_ns());
+    if (name_ != nullptr) {
+      const std::uint64_t end_ns = now_ns();
+      if (traced_) detail::record_span(name_, start_ns_, end_ns);
+      if (captured_) {
+        detail::capture_close(name_, capture_id_, capture_parent_, start_ns_,
+                              end_ns);
+      }
+    }
     if (journal_pushed_) detail::journal_pop_span();
   }
   Span(const Span&) = delete;
@@ -73,6 +132,10 @@ class Span {
  private:
   const char* name_ = nullptr;
   std::uint64_t start_ns_ = 0;
+  std::uint64_t capture_id_ = 0;
+  std::uint64_t capture_parent_ = 0;
+  bool traced_ = false;
+  bool captured_ = false;
   bool journal_pushed_ = false;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -32,6 +33,18 @@ constexpr std::size_t kMaxFlight = 65536;
 std::atomic<bool> g_enabled{false};
 std::atomic<bool> g_memory{false};
 std::atomic<bool> g_flight{false};
+std::atomic<bool> g_tap{false};
+
+/// The installed tap.  Swapped under a mutex; callers copy the
+/// shared_ptr so an uninstall never destroys a function mid-call.
+std::mutex& tap_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+std::shared_ptr<const JournalTapFn>& tap_fn() {
+  static std::shared_ptr<const JournalTapFn> fn;
+  return fn;
+}
 std::atomic<std::uint64_t> g_seq{0};
 std::atomic<std::uint64_t> g_epoch_ns{0};
 
@@ -203,7 +216,8 @@ void install_crash_handler_once() {}
 }  // namespace
 
 bool journal_enabled() {
-  return g_enabled.load(std::memory_order_relaxed);
+  return g_enabled.load(std::memory_order_relaxed) ||
+         g_tap.load(std::memory_order_relaxed);
 }
 
 std::uint64_t journal_event_count() {
@@ -235,6 +249,21 @@ void journal_start_flight(std::size_t capacity, bool install_crash_handler) {
   g_enabled.store(true, std::memory_order_release);
 }
 
+void journal_set_tap(JournalTapFn fn) {
+  const bool active = static_cast<bool>(fn);
+  if (active) {
+    std::uint64_t expected = 0;
+    g_epoch_ns.compare_exchange_strong(expected, now_ns(),
+                                       std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(tap_mutex());
+    tap_fn() = active ? std::make_shared<const JournalTapFn>(std::move(fn))
+                      : nullptr;
+  }
+  g_tap.store(active, std::memory_order_release);
+}
+
 void journal_stop() {
   g_enabled.store(false, std::memory_order_release);
 }
@@ -243,6 +272,7 @@ void journal_reset() {
   g_enabled.store(false, std::memory_order_release);
   g_memory.store(false, std::memory_order_relaxed);
   g_flight.store(false, std::memory_order_relaxed);
+  journal_set_tap({});
   JournalSink& sink = JournalSink::instance();
   std::lock_guard<std::mutex> lock(sink.mutex);
   sink.retired.clear();
@@ -340,6 +370,14 @@ void journal_event(const char* type,
     std::memcpy(out.text, line.data(), n);
     out.text[n] = '\0';
     out.published.store(seq + 1, std::memory_order_release);
+  }
+  if (g_tap.load(std::memory_order_acquire)) {
+    std::shared_ptr<const JournalTapFn> fn;
+    {
+      std::lock_guard<std::mutex> lock(tap_mutex());
+      fn = tap_fn();
+    }
+    if (fn != nullptr) (*fn)(type, slot->corr, line);
   }
 }
 

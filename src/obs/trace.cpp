@@ -71,7 +71,45 @@ void set_trace_enabled(bool enabled) {
   g_trace_enabled.store(enabled, std::memory_order_relaxed);
 }
 
+std::uint64_t new_span_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  // High bits: nanoseconds at first use, so ids minted by the client
+  // process and the daemon process never collide in one merged trace.
+  static const std::uint64_t seed = (now_ns() << 16) & 0x7fffffff00000000ull;
+  return seed | counter.fetch_add(1, std::memory_order_relaxed);
+}
+
 namespace detail {
+
+/// Per-thread capture state owned by the active SpanCapture.
+struct CaptureState {
+  std::uint64_t remote_parent = 0;
+  std::vector<std::uint64_t> open;  ///< ids of currently open spans
+  std::vector<SpanRecord> records;
+};
+
+namespace {
+thread_local CaptureState* g_capture = nullptr;
+}  // namespace
+
+bool capture_active() { return g_capture != nullptr; }
+
+void capture_open(std::uint64_t* id, std::uint64_t* parent) {
+  CaptureState* state = g_capture;
+  if (state == nullptr) return;
+  *parent = state->open.empty() ? state->remote_parent : state->open.back();
+  *id = new_span_id();
+  state->open.push_back(*id);
+}
+
+void capture_close(const char* name, std::uint64_t id, std::uint64_t parent,
+                   std::uint64_t start_ns, std::uint64_t end_ns) {
+  CaptureState* state = g_capture;
+  if (state == nullptr) return;
+  if (!state->open.empty() && state->open.back() == id) state->open.pop_back();
+  state->records.push_back(
+      SpanRecord{name, local_buffer().tid, id, parent, start_ns, end_ns});
+}
 
 void record_span(const char* name, std::uint64_t start_ns,
                  std::uint64_t end_ns) {
@@ -80,6 +118,26 @@ void record_span(const char* name, std::uint64_t start_ns,
 }
 
 }  // namespace detail
+
+SpanCapture::SpanCapture(std::uint64_t trace_id, std::uint64_t remote_parent)
+    : trace_id_(trace_id) {
+  if (detail::g_capture != nullptr) return;  // nested capture: passive
+  auto* state = new detail::CaptureState;
+  state->remote_parent = remote_parent;
+  state_ = state;
+  detail::g_capture = state;
+}
+
+SpanCapture::~SpanCapture() {
+  if (state_ == nullptr) return;
+  detail::g_capture = nullptr;
+  delete static_cast<detail::CaptureState*>(state_);
+}
+
+std::vector<SpanRecord> SpanCapture::take() {
+  if (state_ == nullptr) return {};
+  return std::move(static_cast<detail::CaptureState*>(state_)->records);
+}
 
 void name_this_thread(const std::string& name) {
   ThreadBuffer& buffer = local_buffer();

@@ -48,13 +48,31 @@ inline constexpr std::size_t kFrameHeaderBytes = 4;
 inline constexpr std::uint32_t kFrameCorrFlag = 0x80000000u;
 inline constexpr std::size_t kMaxCorrBytes = 255;
 
+/// Second header bit: the frame carries a distributed-trace context.
+/// The flagged body appends, *after* the corr section when both flags
+/// are set, a fixed 16-byte block: 8-byte BE trace id + 8-byte BE
+/// parent span id (FORMATS.md §6).  Daemon workers adopt the context
+/// so their spans join the client's trace; responses never carry it.
+/// A flagged body shorter than its extensions is unrecoverable — same
+/// latch as an oversized frame.
+inline constexpr std::uint32_t kFrameTraceFlag = 0x40000000u;
+inline constexpr std::size_t kFrameTraceBytes = 16;
+
+/// The propagated context: which trace this request belongs to and
+/// which client-side span submitted it (0 = none).
+struct FrameTrace {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+};
+
 /// Render `payload` as one wire frame (header + bytes).  A non-empty
 /// `corr` rides in the flagged header extension so the server can open
-/// its decision journal under the client's correlation id.  Throws
-/// util::Error if the payload exceeds kMaxFrameBytes or the corr id
-/// exceeds kMaxCorrBytes.
-std::string encode_frame(std::string_view payload,
-                         std::string_view corr = {});
+/// its decision journal under the client's correlation id; a non-null
+/// `trace` rides behind it so daemon spans join the client's trace.
+/// Throws util::Error if the payload exceeds kMaxFrameBytes or the
+/// corr id exceeds kMaxCorrBytes.
+std::string encode_frame(std::string_view payload, std::string_view corr = {},
+                         const FrameTrace* trace = nullptr);
 
 /// Incremental frame decoder for a non-blocking stream: feed() raw
 /// bytes as they arrive, pop complete payloads with next() /
@@ -66,6 +84,8 @@ class FrameReader {
   struct Frame {
     std::string payload;
     std::string corr;  ///< empty when the frame carried no corr id
+    bool has_trace = false;
+    FrameTrace trace;  ///< valid only when has_trace is set
   };
 
   void feed(const char* data, std::size_t n);
@@ -91,7 +111,8 @@ class FrameReader {
 // -- blocking helpers (client side, tests) ---------------------------------
 
 /// Write one frame to a blocking socket.  Throws util::Error on error.
-void write_frame(int fd, std::string_view payload, std::string_view corr = {});
+void write_frame(int fd, std::string_view payload, std::string_view corr = {},
+                 const FrameTrace* trace = nullptr);
 
 /// Read one frame from a blocking socket.  Returns nullopt on clean EOF
 /// at a frame boundary; throws util::Error on a mid-frame EOF

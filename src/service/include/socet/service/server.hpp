@@ -82,6 +82,15 @@ struct ServerOptions {
   /// metrics_http) turns on metrics collection and the rolling-window
   /// ticker, so the `metrics` protocol verb and `socet top` have data.
   std::string access_log;
+  /// Rotate the access log once it reaches this many bytes: the
+  /// current file moves to `<path>.1` (replacing any previous rollover)
+  /// and a fresh file is started.  0 = never rotate.
+  std::size_t access_log_max_bytes = 0;
+  /// Retain the newest N journal lines in memory for the `journal`
+  /// protocol verb / `socet explain --connect` (0 = off).  Implies the
+  /// journal tap, so decision events are rendered while the daemon
+  /// runs — same stdout guarantee as every other telemetry flag.
+  std::size_t journal_ring = 0;
   /// Rolling-window tick cadence (obs::WindowTicker granularity).
   std::chrono::milliseconds window_interval{10000};
 

@@ -7,24 +7,32 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <fstream>
+#include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "socet/obs/build.hpp"
 #include "socet/obs/expo.hpp"
 #include "socet/obs/journal.hpp"
 #include "socet/obs/metrics.hpp"
 #include "socet/obs/report.hpp"
+#include "socet/obs/sampler.hpp"
 #include "socet/obs/trace.hpp"
+#include "socet/obs/tracemerge.hpp"
 #include "socet/service/httpd.hpp"
 #include "socet/service/protocol.hpp"
 #include "socet/service/queue.hpp"
@@ -66,6 +74,21 @@ std::string first_token(const std::string& line) {
   return line.substr(first,
                      end == std::string::npos ? std::string::npos
                                               : end - first);
+}
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    const auto start = line.find_first_not_of(" \t\r", pos);
+    if (start == std::string::npos) break;
+    const auto end = line.find_first_of(" \t\r", start);
+    tokens.push_back(line.substr(
+        start, end == std::string::npos ? std::string::npos : end - start));
+    if (end == std::string::npos) break;
+    pos = end;
+  }
+  return tokens;
 }
 
 }  // namespace
@@ -119,6 +142,11 @@ struct Server::Impl {
     bool peer_eof = false;  ///< no more requests will arrive
     bool fatal = false;     ///< close after the pending flush (bad frame)
     bool dead = false;      ///< closed and removed from the map
+    // Live journal tailing (`tail` verb): once subscribed, matching
+    // journal lines stream to this connection as unsolicited frames.
+    bool tailing = false;
+    std::string tail_corr;  ///< exact corr match; empty = any
+    std::string tail_type;  ///< event-type prefix match; empty = any
   };
 
   struct Task {
@@ -129,6 +157,10 @@ struct Server::Impl {
     std::string corr;  ///< wire correlation id (may be empty)
     std::string verb;  ///< first token of `line` (access log)
     std::uint64_t depth_at_admit = 0;
+    // Propagated trace context (kFrameTraceFlag); 0 = untraced request.
+    std::uint64_t trace_id = 0;
+    std::uint64_t parent_span = 0;
+    std::uint64_t admit_ns = 0;  ///< obs::now_ns() at admission
   };
 
   struct Completion {
@@ -140,9 +172,14 @@ struct Server::Impl {
     std::string corr;
     std::string verb;
     double wall_us = 0;
+    double queue_us = 0;  ///< admission → worker pickup
     bool ok = false;
     bool cache_hit = false;
+    bool job = true;  ///< false for verb completions (e.g. profile)
     std::uint64_t depth_at_admit = 0;
+    std::uint64_t trace_id = 0;
+    std::uint64_t parent_span = 0;
+    std::uint64_t finish_ns = 0;  ///< obs::now_ns() when the worker finished
   };
 
   explicit Impl(ServerOptions opts)
@@ -164,7 +201,57 @@ struct Server::Impl {
   Httpd httpd;
   obs::WindowTicker ticker;
   std::ofstream access_log;  ///< written only by the event-loop thread
+  std::uint64_t access_log_bytes = 0;  ///< rotation accounting
   Clock::time_point start_time = Clock::now();
+  std::int64_t start_unix_seconds =
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+
+  // Cross-process tracing: spans captured for propagated trace ids,
+  // held until the client fetches them with the `spans` verb.  Bounded
+  // FIFO so a client that never collects cannot grow the daemon.
+  static constexpr std::size_t kMaxTraces = 64;
+  static constexpr std::size_t kMaxSpansPerTrace = 4096;
+  std::mutex trace_mutex;
+  std::map<std::uint64_t, std::vector<obs::SpanRecord>> trace_store;
+  std::deque<std::uint64_t> trace_order;
+
+  // Journal tap plumbing: the tap callback (any recording thread) feeds
+  // a retention ring (`journal` verb) and a pending buffer the event
+  // loop drains into tailing connections.
+  struct TailEvent {
+    std::string type;
+    std::string corr;
+    std::string line;
+  };
+  static constexpr std::size_t kMaxTailPending = 4096;
+  std::mutex tail_mutex;
+  std::vector<TailEvent> tail_pending;
+  std::deque<std::string> journal_ring_lines;
+  std::uint64_t tail_dropped = 0;
+  std::atomic<int> tailers{0};
+  bool tap_installed = false;  ///< event-loop/start-thread only
+
+  // On-demand remote profiling: one window at a time, run on its own
+  // thread so the event loop never blocks on the sampler.
+  std::atomic<bool> profiling{false};
+  std::thread profile_thread;
+
+  // Slowest-recent-requests ring for GET /debug/slowreqs.
+  struct SlowReq {
+    std::uint64_t ts_us = 0;
+    std::uint64_t conn = 0;
+    std::string corr;
+    std::string verb;
+    double wall_us = 0;
+    double queue_us = 0;
+    bool ok = false;
+    bool cache_hit = false;
+  };
+  static constexpr std::size_t kSlowRingCap = 256;
+  std::mutex slow_mutex;
+  std::deque<SlowReq> slow_ring;
 
   WorkQueue<Task> queue;
   std::mutex completions_mutex;
@@ -202,8 +289,17 @@ struct Server::Impl {
       queue_depth.fetch_sub(1, std::memory_order_relaxed);
       inflight.fetch_add(1, std::memory_order_relaxed);
       if (options.before_execute) options.before_execute(task->line);
+      const std::uint64_t start_ns = obs::now_ns();
       const auto start = Clock::now();
       Completion completion;
+      // A propagated trace context turns on per-request span capture:
+      // every Span this worker opens while running the job is recorded
+      // under the client's trace id, independent of the daemon's own
+      // --trace switch.
+      std::optional<obs::SpanCapture> capture;
+      if (task->trace_id != 0) {
+        capture.emplace(task->trace_id, task->parent_span);
+      }
       {
         SOCET_SPAN("serve/job");
         // The wire correlation id (if the client sent one) scopes this
@@ -218,6 +314,16 @@ struct Server::Impl {
         completion.ok = result.ok;
         completion.cache_hit = result.cache_hit;
         completion.body = std::move(result.record);
+      }
+      if (capture) {
+        auto spans = capture->take();
+        capture.reset();
+        // Synthesize the queue-wait span (admission → pickup) on the
+        // event-loop lane (tid 0); the merge tool stripes it visually.
+        spans.push_back(obs::SpanRecord{"serve/queue", 0, obs::new_span_id(),
+                                        task->parent_span, task->admit_ns,
+                                        start_ns});
+        store_trace_spans(task->trace_id, std::move(spans));
       }
       const double request_us =
           std::chrono::duration<double, std::micro>(Clock::now() - start)
@@ -237,7 +343,12 @@ struct Server::Impl {
       completion.corr = std::move(task->corr);
       completion.verb = std::move(task->verb);
       completion.wall_us = request_us;
+      completion.queue_us =
+          static_cast<double>(start_ns - task->admit_ns) / 1e3;
       completion.depth_at_admit = task->depth_at_admit;
+      completion.trace_id = task->trace_id;
+      completion.parent_span = task->parent_span;
+      completion.finish_ns = obs::now_ns();
       {
         std::lock_guard<std::mutex> lock(completions_mutex);
         completions.push_back(std::move(completion));
@@ -250,6 +361,155 @@ struct Server::Impl {
     const char byte = 'C';
     [[maybe_unused]] const ssize_t rc = ::write(wake_w, &byte, 1);
     // A full pipe is fine: the loop drains it and rescans everything.
+  }
+
+  // ------------------------------------------------- tracing + tap plumbing
+
+  void store_trace_spans(std::uint64_t trace_id,
+                         std::vector<obs::SpanRecord> spans) {
+    std::lock_guard<std::mutex> lock(trace_mutex);
+    auto it = trace_store.find(trace_id);
+    if (it == trace_store.end()) {
+      while (trace_order.size() >= kMaxTraces) {
+        trace_store.erase(trace_order.front());
+        trace_order.pop_front();
+      }
+      trace_order.push_back(trace_id);
+      it = trace_store.emplace(trace_id, std::vector<obs::SpanRecord>{}).first;
+    }
+    auto& stored = it->second;
+    for (auto& span : spans) {
+      if (stored.size() >= kMaxSpansPerTrace) break;
+      stored.push_back(std::move(span));
+    }
+  }
+
+  /// Install the journal tap (idempotent).  The callback runs on
+  /// whichever thread records the event, so it only touches the
+  /// mutex-guarded ring/pending buffer — never connection state.
+  void install_tap() {
+    if (tap_installed) return;
+    tap_installed = true;
+    obs::journal_set_tap([this](const char* type, const char* corr,
+                                const std::string& line) {
+      bool notify = false;
+      {
+        std::lock_guard<std::mutex> lock(tail_mutex);
+        if (options.journal_ring > 0) {
+          journal_ring_lines.push_back(line);
+          while (journal_ring_lines.size() > options.journal_ring) {
+            journal_ring_lines.pop_front();
+          }
+        }
+        if (tailers.load(std::memory_order_relaxed) > 0) {
+          if (tail_pending.size() >= kMaxTailPending) {
+            tail_pending.erase(tail_pending.begin());
+            ++tail_dropped;
+          }
+          tail_pending.push_back(TailEvent{type, corr, line});
+          notify = true;
+        }
+      }
+      if (notify) wake();
+    });
+  }
+
+  void uninstall_tap() {
+    if (!tap_installed) return;
+    tap_installed = false;
+    obs::journal_set_tap({});
+  }
+
+  void record_slow(std::uint64_t conn_id, const Completion& completion) {
+    const auto ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           Clock::now() - start_time)
+                           .count();
+    SlowReq req;
+    req.ts_us = static_cast<std::uint64_t>(ts_us);
+    req.conn = conn_id;
+    req.corr = completion.corr;
+    req.verb = completion.verb;
+    req.wall_us = completion.wall_us;
+    req.queue_us = completion.queue_us;
+    req.ok = completion.ok;
+    req.cache_hit = completion.cache_hit;
+    std::lock_guard<std::mutex> lock(slow_mutex);
+    slow_ring.push_back(std::move(req));
+    while (slow_ring.size() > kSlowRingCap) slow_ring.pop_front();
+  }
+
+  /// GET /debug/slowreqs: the slowest recent requests (top 32 of a
+  /// 256-deep ring), newest window first sorted by wall time.
+  [[nodiscard]] std::string slowreqs_json() {
+    std::vector<SlowReq> reqs;
+    {
+      std::lock_guard<std::mutex> lock(slow_mutex);
+      reqs.assign(slow_ring.begin(), slow_ring.end());
+    }
+    std::sort(reqs.begin(), reqs.end(),
+              [](const SlowReq& a, const SlowReq& b) {
+                return a.wall_us > b.wall_us;
+              });
+    if (reqs.size() > 32) reqs.resize(32);
+    std::string out = "{\"window\":" + std::to_string(reqs.size()) +
+                      ",\"slowest\":[";
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const auto& r = reqs[i];
+      if (i > 0) out += ',';
+      out += "{\"corr\":\"" + obs::json_escape(r.corr) + "\",\"verb\":\"" +
+             obs::json_escape(r.verb) + "\",\"wall_us\":" +
+             std::to_string(static_cast<std::uint64_t>(r.wall_us)) +
+             ",\"queue_us\":" +
+             std::to_string(static_cast<std::uint64_t>(r.queue_us)) +
+             ",\"cache\":\"" + (r.cache_hit ? "hit" : "miss") +
+             "\",\"status\":\"" + (r.ok ? "ok" : "error") + "\",\"conn\":" +
+             std::to_string(r.conn) + ",\"ts_us\":" + std::to_string(r.ts_us) +
+             "}";
+    }
+    out += "]}\n";
+    return out;
+  }
+
+  /// One profiling window, on its own thread: arm the SIGPROF sampler,
+  /// sleep out the window (drain-aware), answer with folded stacks.
+  void profile_main(std::shared_ptr<Conn> conn, std::uint64_t slot_id,
+                    double seconds, std::string corr) {
+    obs::name_this_thread("serve-profile");
+    Completion completion;
+    completion.conn = std::move(conn);
+    completion.slot_id = slot_id;
+    completion.corr = std::move(corr);
+    completion.verb = "profile";
+    completion.job = false;
+    const auto start = Clock::now();
+    if (!obs::Sampler::running()) obs::Sampler::reset();
+    if (!obs::Sampler::start({})) {
+      completion.body = "busy profiling";
+    } else {
+      const auto deadline =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(seconds));
+      while (Clock::now() < deadline &&
+             !draining.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      obs::Sampler::stop();
+      completion.ok = true;
+      completion.body = "ok profile samples=" +
+                        std::to_string(obs::Sampler::sample_count()) +
+                        " dropped=" +
+                        std::to_string(obs::Sampler::dropped_count()) + "\n" +
+                        obs::Sampler::folded_stacks();
+    }
+    completion.wall_us =
+        std::chrono::duration<double, std::micro>(Clock::now() - start)
+            .count();
+    {
+      std::lock_guard<std::mutex> lock(completions_mutex);
+      completions.push_back(std::move(completion));
+    }
+    wake();
+    profiling.store(false, std::memory_order_release);
   }
 
   // -------------------------------------------------------------- the loop
@@ -295,6 +555,7 @@ struct Server::Impl {
 
       if ((pfds[0].revents & POLLIN) != 0) drain_wake_pipe();
       apply_completions();
+      apply_tail_events();
       if (poll_listen && (pfds[1].revents & POLLIN) != 0) accept_all();
 
       for (std::size_t c = 0; c < polled.size(); ++c) {
@@ -357,7 +618,19 @@ struct Server::Impl {
       const auto& conn = completion.conn;
       log_access(conn->id, completion.corr, completion.verb,
                  completion.ok ? "ok" : "error", completion.depth_at_admit,
-                 completion.wall_us, completion.cache_hit ? "hit" : "miss");
+                 completion.wall_us,
+                 completion.job ? (completion.cache_hit ? "hit" : "miss")
+                                : nullptr);
+      if (completion.job) record_slow(conn->id, completion);
+      if (completion.trace_id != 0) {
+        // The respond span covers worker-finish → event-loop pickup:
+        // the tail latency a client sees past the job itself.
+        store_trace_spans(
+            completion.trace_id,
+            {obs::SpanRecord{"serve/respond", 0, obs::new_span_id(),
+                             completion.parent_span, completion.finish_ns,
+                             obs::now_ns()}});
+      }
       if (conn->dead) continue;  // client vanished mid-job: drop result
       for (auto& slot : conn->slots) {
         if (slot.id == completion.slot_id) {
@@ -368,6 +641,40 @@ struct Server::Impl {
       }
       pump(conn);
       if (!conn->dead) maybe_close(conn);
+    }
+  }
+
+  /// Drain tap events into tailing connections (event-loop thread).
+  /// Filters are per-connection; a watcher over its write budget
+  /// silently skips events rather than stalling the daemon.
+  void apply_tail_events() {
+    if (tailers.load(std::memory_order_relaxed) == 0) return;
+    std::vector<TailEvent> batch;
+    {
+      std::lock_guard<std::mutex> lock(tail_mutex);
+      batch.swap(tail_pending);
+    }
+    if (batch.empty()) return;
+    std::vector<std::shared_ptr<Conn>> watchers;
+    for (auto& [fd, conn] : conns) {
+      if (conn->tailing && !conn->dead) watchers.push_back(conn);
+    }
+    for (const auto& conn : watchers) {
+      for (const auto& event : batch) {
+        if (!conn->tail_corr.empty() && event.corr != conn->tail_corr) {
+          continue;
+        }
+        if (!conn->tail_type.empty() &&
+            event.type.compare(0, conn->tail_type.size(), conn->tail_type) !=
+                0) {
+          continue;
+        }
+        if (conn->out.size() - conn->out_off >= options.max_buffered_bytes) {
+          break;  // slow watcher: drop the rest of this batch
+        }
+        conn->out += encode_frame(event.line);
+      }
+      try_write(conn);
     }
   }
 
@@ -417,7 +724,8 @@ struct Server::Impl {
     while (can_read_frames(*conn)) {
       auto frame = conn->reader.next_frame();
       if (!frame) break;
-      dispatch(conn, frame->payload, frame->corr);
+      dispatch(conn, frame->payload, frame->corr,
+               frame->has_trace ? &frame->trace : nullptr);
     }
     if (conn->reader.overflowed() && !conn->fatal) {
       bad_frames.fetch_add(1, std::memory_order_relaxed);
@@ -457,21 +765,36 @@ struct Server::Impl {
     const auto ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
                            Clock::now() - start_time)
                            .count();
-    access_log << "{\"type\":\"serve.access\",\"ts_us\":" << ts_us
-               << ",\"conn\":" << conn_id << ",\"corr\":\""
-               << obs::json_escape(corr) << "\",\"verb\":\""
-               << obs::json_escape(verb) << "\",\"status\":\"" << status
-               << "\",\"queue_depth\":" << depth
-               << ",\"wall_us\":" << static_cast<std::uint64_t>(wall_us)
-               << ",\"cache\":"
-               << (cache == nullptr ? std::string("null")
-                                    : "\"" + std::string(cache) + "\"")
-               << "}\n";
+    std::string entry = "{\"type\":\"serve.access\",\"ts_us\":" +
+                        std::to_string(ts_us) + ",\"conn\":" +
+                        std::to_string(conn_id) + ",\"corr\":\"" +
+                        obs::json_escape(corr) + "\",\"verb\":\"" +
+                        obs::json_escape(verb) + "\",\"status\":\"" + status +
+                        "\",\"queue_depth\":" + std::to_string(depth) +
+                        ",\"wall_us\":" +
+                        std::to_string(static_cast<std::uint64_t>(wall_us)) +
+                        ",\"cache\":" +
+                        (cache == nullptr ? std::string("null")
+                                          : "\"" + std::string(cache) + "\"") +
+                        "}\n";
+    access_log << entry;
     access_log.flush();
+    access_log_bytes += entry.size();
+    // Size-based rotation: move the full file to `<path>.1` (replacing
+    // any previous rollover) and start fresh.  One generation is kept —
+    // a bounded-disk guarantee, not an archive.
+    if (options.access_log_max_bytes > 0 &&
+        access_log_bytes >= options.access_log_max_bytes) {
+      access_log.close();
+      const std::string rolled = options.access_log + ".1";
+      ::rename(options.access_log.c_str(), rolled.c_str());
+      access_log.open(options.access_log, std::ios::trunc);
+      access_log_bytes = 0;
+    }
   }
 
   void dispatch(const std::shared_ptr<Conn>& conn, const std::string& line,
-                const std::string& corr) {
+                const std::string& corr, const FrameTrace* trace) {
     const std::string verb = first_token(line);
     const std::uint64_t depth = queue_depth.load(std::memory_order_relaxed);
     if (verb == "stats") {
@@ -494,12 +817,36 @@ struct Server::Impl {
       log_access(conn->id, corr, verb, "ok", depth, 0, nullptr);
       return;
     }
+    if (verb == "clock") {
+      // The clock-offset handshake: answer with this process's
+      // monotonic now.  Answered pre-drain so trace collection still
+      // works against a draining daemon.
+      add_done_slot(conn, "ok clock " + std::to_string(obs::now_ns()));
+      log_access(conn->id, corr, verb, "ok", depth, 0, nullptr);
+      return;
+    }
+    if (verb == "spans") {
+      dispatch_spans(conn, line, corr, depth);
+      return;
+    }
+    if (verb == "journal") {
+      dispatch_journal(conn, corr, depth);
+      return;
+    }
     if (draining.load(std::memory_order_relaxed)) {
       busy_rejects.fetch_add(1, std::memory_order_relaxed);
       SOCET_COUNT("serve/busy_rejects");
       SOCET_EVENT("serve/busy", {"conn", conn->id}, {"why", "draining"});
       add_done_slot(conn, "busy draining");
       log_access(conn->id, corr, verb, "busy", depth, 0, nullptr);
+      return;
+    }
+    if (verb == "tail") {
+      dispatch_tail(conn, line, corr, depth);
+      return;
+    }
+    if (verb == "profile") {
+      dispatch_profile(conn, line, corr, depth);
       return;
     }
     if (depth >= options.max_queue) {
@@ -532,7 +879,155 @@ struct Server::Impl {
     task.corr = corr;
     task.verb = verb;
     task.depth_at_admit = depth + 1;
+    if (trace != nullptr) {
+      task.trace_id = trace->trace_id;
+      task.parent_span = trace->parent_span;
+    }
+    task.admit_ns = obs::now_ns();
     queue.push(std::move(task));
+  }
+
+  /// `spans <trace-id-hex>`: hand back (and release) every span the
+  /// daemon captured for the client's trace, as socet-spans-v1 JSONL.
+  void dispatch_spans(const std::shared_ptr<Conn>& conn,
+                      const std::string& line, const std::string& corr,
+                      std::uint64_t depth) {
+    const auto tokens = split_tokens(line);
+    std::uint64_t trace_id = 0;
+    if (tokens.size() == 2) {
+      char* end = nullptr;
+      trace_id = std::strtoull(tokens[1].c_str(), &end, 16);
+      if (end == nullptr || *end != '\0') trace_id = 0;
+    }
+    if (trace_id == 0) {
+      add_done_slot(conn, "error bad spans id '" + line + "'");
+      log_access(conn->id, corr, "spans", "error", depth, 0, nullptr);
+      return;
+    }
+    std::vector<obs::SpanRecord> spans;
+    {
+      std::lock_guard<std::mutex> lock(trace_mutex);
+      auto it = trace_store.find(trace_id);
+      if (it != trace_store.end()) {
+        spans = std::move(it->second);
+        trace_store.erase(it);
+        trace_order.erase(
+            std::find(trace_order.begin(), trace_order.end(), trace_id));
+      }
+    }
+    add_done_slot(conn, "ok spans " + std::to_string(spans.size()) + "\n" +
+                            obs::remote_spans_jsonl(spans));
+    log_access(conn->id, corr, "spans", "ok", depth, 0, nullptr);
+  }
+
+  /// `journal`: the retained decision-journal ring as socet-journal-v1
+  /// text, newest lines kept when the ring exceeds the frame budget.
+  void dispatch_journal(const std::shared_ptr<Conn>& conn,
+                        const std::string& corr, std::uint64_t depth) {
+    if (options.journal_ring == 0) {
+      add_done_slot(conn,
+                    "error journal ring disabled "
+                    "(start serve with --journal-ring N)");
+      log_access(conn->id, corr, "journal", "error", depth, 0, nullptr);
+      return;
+    }
+    // Stay well under kMaxFrameBytes: walk the ring newest-first until
+    // the budget is spent, then emit in chronological order.
+    constexpr std::size_t kBodyBudget = 900 * 1024;
+    std::vector<std::string> lines;
+    {
+      std::lock_guard<std::mutex> lock(tail_mutex);
+      std::size_t used = 0;
+      for (auto it = journal_ring_lines.rbegin();
+           it != journal_ring_lines.rend(); ++it) {
+        if (used + it->size() + 1 > kBodyBudget) break;
+        used += it->size() + 1;
+        lines.push_back(*it);
+      }
+    }
+    std::reverse(lines.begin(), lines.end());
+    std::string body =
+        "ok journal\n{\"schema\":\"socet-journal-v1\",\"events\":" +
+        std::to_string(lines.size()) + ",\"kind\":\"ring\"}";
+    for (const auto& entry : lines) {
+      body += '\n';
+      body += entry;
+    }
+    add_done_slot(conn, std::move(body));
+    log_access(conn->id, corr, "journal", "ok", depth, 0, nullptr);
+  }
+
+  /// `tail [corr=ID] [type=PREFIX]`: subscribe this connection to the
+  /// live journal stream.  The `ok tail` ack flushes in-order; every
+  /// later frame on the connection is one journal line.
+  void dispatch_tail(const std::shared_ptr<Conn>& conn,
+                     const std::string& line, const std::string& corr,
+                     std::uint64_t depth) {
+    const auto tokens = split_tokens(line);
+    std::string filter_corr;
+    std::string filter_type;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      if (tokens[i].rfind("corr=", 0) == 0) {
+        filter_corr = tokens[i].substr(5);
+      } else if (tokens[i].rfind("type=", 0) == 0) {
+        filter_type = tokens[i].substr(5);
+      } else {
+        add_done_slot(conn, "error bad tail filter '" + tokens[i] + "'");
+        log_access(conn->id, corr, "tail", "error", depth, 0, nullptr);
+        return;
+      }
+    }
+    if (!conn->tailing) {
+      conn->tailing = true;
+      tailers.fetch_add(1, std::memory_order_relaxed);
+    }
+    conn->tail_corr = std::move(filter_corr);
+    conn->tail_type = std::move(filter_type);
+    install_tap();
+    add_done_slot(conn, "ok tail");
+    log_access(conn->id, corr, "tail", "ok", depth, 0, nullptr);
+  }
+
+  /// `profile [seconds]`: arm the SIGPROF sampler for one window and
+  /// answer with folded stacks.  One window at a time, daemon-wide.
+  void dispatch_profile(const std::shared_ptr<Conn>& conn,
+                        const std::string& line, const std::string& corr,
+                        std::uint64_t depth) {
+    const auto tokens = split_tokens(line);
+    double seconds = 1.0;
+    if (tokens.size() >= 2) {
+      char* end = nullptr;
+      seconds = std::strtod(tokens[1].c_str(), &end);
+      if (end == nullptr || *end != '\0' || !(seconds > 0) ||
+          seconds > 30.0) {
+        add_done_slot(conn, "error bad profile duration '" + tokens[1] +
+                                "' (want seconds in (0, 30])");
+        log_access(conn->id, corr, "profile", "error", depth, 0, nullptr);
+        return;
+      }
+    }
+    if (!obs::sampler_supported()) {
+      add_done_slot(conn, "error profiling unsupported on this platform");
+      log_access(conn->id, corr, "profile", "error", depth, 0, nullptr);
+      return;
+    }
+    if (obs::Sampler::running() ||
+        profiling.exchange(true, std::memory_order_acq_rel)) {
+      busy_rejects.fetch_add(1, std::memory_order_relaxed);
+      SOCET_COUNT("serve/busy_rejects");
+      SOCET_EVENT("serve/busy", {"conn", conn->id}, {"why", "profiling"});
+      add_done_slot(conn, "busy profiling");
+      log_access(conn->id, corr, "profile", "busy", depth, 0, nullptr);
+      return;
+    }
+    const std::uint64_t slot_id = conn->next_slot_id++;
+    conn->slots.push_back({slot_id, false, {}});
+    // The previous window's thread has already cleared `profiling`, so
+    // joining here blocks for microseconds at most.
+    if (profile_thread.joinable()) profile_thread.join();
+    profile_thread = std::thread([this, conn, slot_id, seconds, corr] {
+      profile_main(conn, slot_id, seconds, corr);
+    });
   }
 
   void flush_ready(const std::shared_ptr<Conn>& conn) {
@@ -578,6 +1073,16 @@ struct Server::Impl {
 
   void close_conn(const std::shared_ptr<Conn>& conn) {
     if (conn->dead) return;
+    if (conn->tailing) {
+      conn->tailing = false;
+      // Last watcher gone and no retention ring configured: the tap no
+      // longer has a consumer, so put the journal back exactly as the
+      // daemon's flags left it.
+      if (tailers.fetch_sub(1, std::memory_order_relaxed) == 1 &&
+          options.journal_ring == 0) {
+        uninstall_tap();
+      }
+    }
     conn->dead = true;
     ::close(conn->fd);
     conns.erase(conn->fd);
@@ -606,6 +1111,13 @@ struct Server::Impl {
     gauge("socet_serve_draining", s.draining ? 1 : 0);
     gauge("socet_serve_cache_entries", s.cache_entries);
     gauge("socet_serve_cache_bytes", s.cache_bytes);
+    // Build identity + start time: the standard Prometheus idiom for
+    // "which binary is this and how long has it been up".
+    out += "# TYPE socet_build_info gauge\n";
+    out += std::string("socet_build_info{version=\"") + obs::build_version() +
+           "\",git=\"" + obs::build_git() + "\"} 1\n";
+    gauge("socet_start_time_seconds",
+          static_cast<std::uint64_t>(start_unix_seconds));
     return out;
   }
 
@@ -679,7 +1191,14 @@ void Server::start() {
     util::require(impl_->access_log.is_open(),
                   "cannot open access log '" + impl_->options.access_log +
                       "'");
+    // Seed rotation accounting with whatever an earlier run left behind.
+    const auto pos = impl_->access_log.tellp();
+    impl_->access_log_bytes =
+        pos > 0 ? static_cast<std::uint64_t>(pos) : 0;
   }
+  // A journal retention ring needs the tap from the first request on;
+  // `tail` subscribers install it lazily otherwise.
+  if (impl_->options.journal_ring > 0) impl_->install_tap();
   if (impl_->options.metrics_http) {
     HttpdOptions http_options;
     http_options.host = impl_->options.metrics_host;
@@ -699,6 +1218,10 @@ void Server::start() {
           }
           if (path == "/healthz") {
             return {200, "text/plain; charset=utf-8", "ok\n"};
+          }
+          if (path == "/debug/slowreqs") {
+            return {200, "application/json; charset=utf-8",
+                    impl->slowreqs_json()};
           }
           if (path == "/readyz") {
             // Readiness flips during drain so a load balancer stops
@@ -733,6 +1256,8 @@ void Server::wait() {
   if (!impl_->started || impl_->joined) return;
   impl_->loop_thread.join();
   for (auto& worker : impl_->workers) worker.join();
+  if (impl_->profile_thread.joinable()) impl_->profile_thread.join();
+  impl_->uninstall_tap();
   // The telemetry listener outlives the event loop on purpose: /readyz
   // answers 503 for the whole drain, and the last scrape still sees the
   // final counters.  Stop it only once the daemon is fully quiesced.

@@ -78,6 +78,66 @@ TEST_F(JournalTest, DisabledByDefaultRecordsNothing) {
   EXPECT_NE(obs::journal_jsonl().find("\"events\":0"), std::string::npos);
 }
 
+TEST_F(JournalTest, TapReceivesTypeCorrAndRenderedLine) {
+  std::vector<std::string> types;
+  std::vector<std::string> corrs;
+  std::vector<std::string> lines;
+  obs::journal_set_tap(
+      [&](const char* type, const char* corr, const std::string& line) {
+        types.emplace_back(type);
+        corrs.emplace_back(corr);
+        lines.push_back(line);
+      });
+  // The tap alone is a sink: SOCET_EVENT takes the enabled path.
+  EXPECT_TRUE(obs::journal_enabled());
+  {
+    obs::JournalScope scope("job-9");
+    SOCET_EVENT("test/tap", {"k", 1});
+  }
+  SOCET_EVENT("test/bare", {"k", 2});
+  ASSERT_EQ(types.size(), 2u);
+  EXPECT_EQ(types[0], "test/tap");
+  EXPECT_EQ(corrs[0], "job-9");
+  EXPECT_NE(lines[0].find("\"type\":\"test/tap\""), std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[0].find("\"corr\":\"job-9\""), std::string::npos);
+  EXPECT_EQ(types[1], "test/bare");
+  EXPECT_EQ(corrs[1], "");  // no scope, no correlation
+
+  // An empty function uninstalls; the journal goes quiet again.
+  obs::journal_set_tap({});
+  EXPECT_FALSE(obs::journal_enabled());
+  SOCET_EVENT("test/after", {"k", 3});
+  EXPECT_EQ(types.size(), 2u);
+}
+
+TEST_F(JournalTest, TapComposesWithTheMemorySink) {
+  std::size_t taps = 0;
+  obs::journal_start_memory();
+  obs::journal_set_tap(
+      [&](const char*, const char*, const std::string&) { ++taps; });
+  SOCET_EVENT("test/both", {"n", 1});
+  EXPECT_EQ(taps, 1u);
+
+  // Uninstalling the tap must not stop the memory sink.
+  obs::journal_set_tap({});
+  EXPECT_TRUE(obs::journal_enabled());
+  SOCET_EVENT("test/both", {"n", 2});
+  EXPECT_EQ(taps, 1u);
+  obs::journal_stop();
+  EXPECT_EQ(obs::journal_event_count(), 2u);  // both hit the memory sink
+}
+
+TEST_F(JournalTest, ResetClearsTheTap) {
+  std::size_t taps = 0;
+  obs::journal_set_tap(
+      [&](const char*, const char*, const std::string&) { ++taps; });
+  obs::journal_reset();
+  EXPECT_FALSE(obs::journal_enabled());
+  SOCET_EVENT("test/gone", {"n", 1});
+  EXPECT_EQ(taps, 0u);
+}
+
 TEST_F(JournalTest, MemorySinkRendersTypedFields) {
   obs::journal_start_memory();
   EXPECT_TRUE(obs::journal_enabled());

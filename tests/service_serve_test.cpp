@@ -7,18 +7,24 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cinttypes>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <mutex>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "socet/obs/metrics.hpp"
+#include "socet/obs/sampler.hpp"
+#include "socet/obs/trace.hpp"
 #include "socet/service/cache.hpp"
 #include "socet/service/client.hpp"
 #include "socet/service/protocol.hpp"
@@ -104,6 +110,51 @@ TEST(FrameReader, MalformedCorrLengthLatchesLikeAnOversizedFrame) {
   EXPECT_FALSE(reader.next_frame().has_value());
   EXPECT_TRUE(reader.overflowed());
   EXPECT_EQ(reader.announced(), 0x80000002u);
+}
+
+TEST(FrameReader, TraceFlagCarriesTheTraceContext) {
+  const service::FrameTrace context{0xdeadbeefcafef00dull, 0x1122334455667788ull};
+  const std::string wire =
+      service::encode_frame("plan system=barcode", "job-1", &context) +
+      service::encode_frame("explore system=barcode", {}, &context) +
+      service::encode_frame("stats");
+  // One byte at a time: the 16-byte trace block spans every boundary,
+  // with and without a corr section in front of it.
+  service::FrameReader reader;
+  std::vector<service::FrameReader::Frame> frames;
+  for (char byte : wire) {
+    reader.feed(&byte, 1);
+    while (auto frame = reader.next_frame()) frames.push_back(*frame);
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].payload, "plan system=barcode");
+  EXPECT_EQ(frames[0].corr, "job-1");
+  ASSERT_TRUE(frames[0].has_trace);
+  EXPECT_EQ(frames[0].trace.trace_id, context.trace_id);
+  EXPECT_EQ(frames[0].trace.parent_span, context.parent_span);
+  EXPECT_EQ(frames[1].payload, "explore system=barcode");
+  EXPECT_EQ(frames[1].corr, "");
+  ASSERT_TRUE(frames[1].has_trace);
+  EXPECT_EQ(frames[1].trace.trace_id, context.trace_id);
+  EXPECT_FALSE(frames[2].has_trace);
+
+  // next() is trace-oblivious: same payloads, context discarded.
+  service::FrameReader plain;
+  plain.feed(wire.data(), wire.size());
+  EXPECT_EQ(plain.next().value(), "plan system=barcode");
+  EXPECT_EQ(plain.next().value(), "explore system=barcode");
+  EXPECT_EQ(plain.next().value(), "stats");
+}
+
+TEST(FrameReader, TraceBlockShorterThanSixteenBytesLatches) {
+  // A trace-flagged header announcing a 2-byte body cannot hold the
+  // fixed 16-byte context: unrecoverable, like an oversized frame.
+  service::FrameReader reader;
+  const char bad[] = {'\x40', '\x00', '\x00', '\x02', 'x', 'y'};
+  reader.feed(bad, sizeof(bad));
+  EXPECT_FALSE(reader.next_frame().has_value());
+  EXPECT_TRUE(reader.overflowed());
+  EXPECT_EQ(reader.announced(), 0x40000002u);
 }
 
 TEST(Protocol, EncodeRejectsOversizedCorrIds) {
@@ -649,6 +700,296 @@ TEST(Serve, TelemetryLeavesRecordsByteIdentical) {
   std::remove(log_path.c_str());
 }
 
+// ------------------------------------------- cross-process introspection
+
+std::string hex_of(std::uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIx64, value);
+  return buffer;
+}
+
+TEST(Serve, ClockVerbAnswersThisProcessesMonotonicClock) {
+  service::ServerOptions options;
+  options.threads = 1;
+  service::Server server(std::move(options));
+  server.start();
+  auto client = connect_to(server);
+  // The server runs in this process, so its `clock` reading must nest
+  // inside the request's round trip on the same steady clock — the
+  // exact property the min-RTT midpoint estimate relies on.
+  const std::uint64_t before = obs::now_ns();
+  const std::string reply = client.query("clock");
+  const std::uint64_t after = obs::now_ns();
+  ASSERT_EQ(reply.rfind("ok clock ", 0), 0u) << reply;
+  const std::uint64_t reported =
+      std::strtoull(reply.c_str() + 9, nullptr, 10);
+  EXPECT_GE(reported, before);
+  EXPECT_LE(reported, after);
+}
+
+TEST(Serve, TracedRunKeepsRecordsIdenticalAndParentsDaemonSpans) {
+  const std::string expected = serial_records(kJobFile);
+  service::ServerOptions options;
+  options.threads = 2;
+  service::Server server(std::move(options));
+  server.start();
+
+  service::ClientOptions client_options;
+  client_options.port = server.port();
+  client_options.trace = true;
+  service::Client client(client_options);
+  const auto report = client.run_lines(kJobFile);
+  // The tentpole guarantee: tracing never changes the records.
+  EXPECT_EQ(report.records_text(), expected);
+
+  ASSERT_NE(report.trace.trace_id, 0u);
+  ASSERT_EQ(report.trace.client_spans.size(), report.jobs);
+  std::set<std::uint64_t> client_ids;
+  std::set<std::uint64_t> all_ids;
+  for (const auto& span : report.trace.client_spans) {
+    EXPECT_NE(span.id, 0u);
+    EXPECT_GE(span.end_ns, span.start_ns);
+    client_ids.insert(span.id);
+    all_ids.insert(span.id);
+  }
+  // Every job contributes at least serve/job + serve/queue +
+  // serve/respond on the daemon side.
+  ASSERT_GE(report.trace.daemon_spans.size(), 3 * report.jobs);
+  for (const auto& span : report.trace.daemon_spans) all_ids.insert(span.id);
+  std::size_t under_submit = 0;
+  std::set<std::string> names;
+  for (const auto& span : report.trace.daemon_spans) {
+    names.insert(span.name);
+    // The parent chain never dangles: every daemon span hangs off a
+    // client submit span or another daemon span of the same trace.
+    EXPECT_NE(span.parent, 0u) << span.name;
+    EXPECT_EQ(all_ids.count(span.parent), 1u) << span.name;
+    if (client_ids.count(span.parent) == 1) ++under_submit;
+  }
+  EXPECT_EQ(names.count("serve/job"), 1u);
+  EXPECT_EQ(names.count("serve/queue"), 1u);
+  EXPECT_EQ(names.count("serve/respond"), 1u);
+  // Each job's queue/job/respond spans parent its submit span directly.
+  EXPECT_GE(under_submit, 3 * report.jobs);
+
+  // The merged document renders both halves with flow arrows.
+  const std::string merged = report.trace.chrome_trace();
+  EXPECT_NE(merged.find("\"socet client\""), std::string::npos);
+  EXPECT_NE(merged.find("\"socet serve\""), std::string::npos);
+  EXPECT_NE(merged.find("\"serve/job\""), std::string::npos);
+  EXPECT_NE(merged.find("\"ph\":\"s\""), std::string::npos);
+
+  // Collection releases the stored spans: a second fetch is empty.
+  const std::string again =
+      client.query("spans " + hex_of(report.trace.trace_id));
+  EXPECT_EQ(again.rfind("ok spans 0", 0), 0u) << again;
+}
+
+TEST(Serve, SpansVerbRejectsMalformedIds) {
+  service::ServerOptions options;
+  options.threads = 1;
+  service::Server server(std::move(options));
+  server.start();
+  auto client = connect_to(server);
+  EXPECT_EQ(client.query("spans").rfind("error bad spans id", 0), 0u);
+  EXPECT_EQ(client.query("spans zz").rfind("error bad spans id", 0), 0u);
+  EXPECT_EQ(client.query("spans 0").rfind("error bad spans id", 0), 0u);
+  // A well-formed id that was never traced is just an empty set.
+  EXPECT_EQ(client.query("spans deadbeef").rfind("ok spans 0", 0), 0u);
+}
+
+TEST(Serve, TailStreamsOnlyTheWatchedCorrUnderConcurrentWorkers) {
+  service::ServerOptions options;
+  options.threads = 4;
+  service::Server server(std::move(options));
+  server.start();
+
+  const int fd = service::net_connect("127.0.0.1", server.port());
+  service::write_frame(fd, "tail corr=job-2");
+  const auto ack = service::read_frame(fd);
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_EQ(*ack, "ok tail");
+
+  // Eight jobs race across four workers; every one emits journal
+  // events under its own corr, but only job-2's may reach this watcher.
+  {
+    auto client = connect_to(server);
+    client.run_lines(kJobFile);
+  }
+  for (int i = 0; i < 2; ++i) {
+    const auto event = service::read_frame(fd);
+    ASSERT_TRUE(event.has_value());
+    EXPECT_NE(event->find("\"corr\":\"job-2\""), std::string::npos)
+        << *event;
+  }
+  ::close(fd);
+}
+
+TEST(Serve, TailTypePrefixFilterWatchesConnectionEvents) {
+  service::ServerOptions options;
+  options.threads = 1;
+  service::Server server(std::move(options));
+  server.start();
+
+  const int fd = service::net_connect("127.0.0.1", server.port());
+  service::write_frame(fd, "tail type=serve/conn");
+  const auto ack = service::read_frame(fd);
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_EQ(*ack, "ok tail");
+
+  // A connection that comes and goes produces exactly an accept and a
+  // close event, in that order — both type serve/conn.
+  const int other = service::net_connect("127.0.0.1", server.port());
+  ::close(other);
+  const auto accept_event = service::read_frame(fd);
+  ASSERT_TRUE(accept_event.has_value());
+  EXPECT_NE(accept_event->find("\"type\":\"serve/conn\""),
+            std::string::npos)
+      << *accept_event;
+  EXPECT_NE(accept_event->find("\"event\":\"accept\""), std::string::npos)
+      << *accept_event;
+  const auto close_event = service::read_frame(fd);
+  ASSERT_TRUE(close_event.has_value());
+  EXPECT_NE(close_event->find("\"event\":\"close\""), std::string::npos)
+      << *close_event;
+  ::close(fd);
+}
+
+TEST(Serve, TailRejectsUnknownFilters) {
+  service::ServerOptions options;
+  options.threads = 1;
+  service::Server server(std::move(options));
+  server.start();
+  auto client = connect_to(server);
+  EXPECT_EQ(client.query("tail nope=3"),
+            "error bad tail filter 'nope=3'");
+  // The reject did not subscribe the connection: normal traffic works.
+  EXPECT_EQ(client.query("health"), "ok health serving");
+}
+
+TEST(Serve, JournalRingServesTheJournalVerb) {
+  service::ServerOptions options;
+  options.threads = 1;
+  options.journal_ring = 256;
+  service::Server server(std::move(options));
+  server.start();
+  auto client = connect_to(server);
+  client.run_lines({"plan system=barcode selection=1,2,1"});
+  const std::string reply = client.query("journal");
+  ASSERT_EQ(reply.rfind("ok journal\n", 0), 0u) << reply;
+  EXPECT_NE(reply.find("\"schema\":\"socet-journal-v1\""),
+            std::string::npos)
+      << reply;
+  EXPECT_NE(reply.find("\"kind\":\"ring\""), std::string::npos);
+  // The job's decision events are in the ring under the wire corr id.
+  EXPECT_NE(reply.find("\"corr\":\"job-1\""), std::string::npos) << reply;
+}
+
+TEST(Serve, JournalVerbWithoutARingIsAStructuredError) {
+  service::ServerOptions options;
+  options.threads = 1;
+  service::Server server(std::move(options));
+  server.start();
+  auto client = connect_to(server);
+  EXPECT_EQ(client.query("journal").rfind("error journal ring disabled", 0),
+            0u);
+}
+
+TEST(Serve, ProfileVerbRunsOneWindowAtATime) {
+  service::ServerOptions options;
+  options.threads = 1;
+  service::Server server(std::move(options));
+  server.start();
+  auto client = connect_to(server);
+
+  EXPECT_EQ(client.query("profile nope")
+                .rfind("error bad profile duration", 0),
+            0u);
+  EXPECT_EQ(
+      client.query("profile 31").rfind("error bad profile duration", 0),
+      0u);
+  EXPECT_EQ(client.query("profile 0").rfind("error bad profile duration", 0),
+            0u);
+  if (!obs::sampler_supported()) {
+    EXPECT_EQ(client.query("profile 0.2"),
+              "error profiling unsupported on this platform");
+    return;
+  }
+
+  // Arm a window from a raw connection; the daemon runs in this
+  // process, so the sampler state is directly observable.
+  const int fd = service::net_connect("127.0.0.1", server.port());
+  service::write_frame(fd, "profile 0.5");
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (!obs::Sampler::running() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_TRUE(obs::Sampler::running());
+  // A second window while one is live is a structured busy reject.
+  EXPECT_EQ(client.query("profile 0.2"), "busy profiling");
+  const auto reply = service::read_frame(fd);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->rfind("ok profile samples=", 0), 0u) << *reply;
+  ::close(fd);
+}
+
+TEST(Serve, AccessLogRotatesAtTheByteBound) {
+  const std::string log_path = testing::TempDir() + "serve_rotating.jsonl";
+  const std::string rolled_path = log_path + ".1";
+  std::remove(log_path.c_str());
+  std::remove(rolled_path.c_str());
+  service::ServerOptions options;
+  options.threads = 1;
+  options.access_log = log_path;
+  options.access_log_max_bytes = 600;  // a few entries per generation
+  {
+    service::Server server(std::move(options));
+    server.start();
+    auto client = connect_to(server);
+    client.run_lines(kJobFile);
+    server.request_drain();
+    server.wait();
+  }
+  std::ifstream rolled(rolled_path);
+  ASSERT_TRUE(rolled.is_open()) << "no rollover file " << rolled_path;
+  std::ostringstream rolled_raw;
+  rolled_raw << rolled.rdbuf();
+  EXPECT_NE(rolled_raw.str().find("\"type\":\"serve.access\""),
+            std::string::npos);
+  std::ifstream current(log_path);
+  ASSERT_TRUE(current.is_open());
+  std::remove(log_path.c_str());
+  std::remove(rolled_path.c_str());
+}
+
+TEST(Serve, HttpSlowreqsAndBuildInfoExposeTheIntrospectionPlane) {
+  service::ServerOptions options;
+  options.threads = 2;
+  options.metrics_http = true;
+  service::Server server(std::move(options));
+  server.start();
+  const unsigned short mport = server.metrics_port();
+  ASSERT_GT(mport, 0);
+  {
+    auto client = connect_to(server);
+    client.run_lines(kJobFile);
+  }
+
+  const std::string metrics = http_get(mport, "GET /metrics HTTP/1.0");
+  EXPECT_NE(metrics.find("socet_build_info{version=\""), std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("git=\""), std::string::npos);
+  EXPECT_NE(metrics.find("socet_start_time_seconds "), std::string::npos);
+
+  const std::string slow = http_get(mport, "GET /debug/slowreqs HTTP/1.0");
+  EXPECT_NE(slow.find("200 OK\r\n"), std::string::npos) << slow;
+  EXPECT_NE(slow.find("\"window\":"), std::string::npos) << slow;
+  EXPECT_NE(slow.find("\"slowest\":["), std::string::npos);
+  EXPECT_NE(slow.find("\"wall_us\":"), std::string::npos);
+  EXPECT_NE(slow.find("\"corr\":\"job-"), std::string::npos) << slow;
+}
+
 // --------------------------------------------------------------------- CLI
 
 struct CliRun {
@@ -740,6 +1081,120 @@ TEST(Cli, TopAndMetricsVerbRenderLiveTelemetry) {
   EXPECT_EQ(metrics.output.rfind("ok metrics", 0), 0u) << metrics.output;
   EXPECT_NE(metrics.output.find("socet_serve_up 1"), std::string::npos);
   std::remove(log_path.c_str());
+}
+
+TEST(Cli, BatchConnectTraceKeepsStdoutIdenticalAndWritesOneMergedTrace) {
+  service::ServerOptions options;
+  options.threads = 2;
+  service::Server server(std::move(options));
+  server.start();
+  const std::string connect = "127.0.0.1:" + std::to_string(server.port());
+
+  const std::string jobs_path = testing::TempDir() + "serve_trace_jobs.txt";
+  {
+    std::ofstream file(jobs_path);
+    for (const std::string& line : kJobFile) file << line << "\n";
+  }
+  const std::string trace_path = testing::TempDir() + "serve_trace.json";
+  std::remove(trace_path.c_str());
+
+  const CliRun plain =
+      run_cli("batch --connect " + connect + " --jobs " + jobs_path);
+  const CliRun traced = run_cli("batch --connect " + connect + " --jobs " +
+                                jobs_path + " --trace " + trace_path);
+  // The acceptance pin: --trace never changes what batch prints.
+  EXPECT_EQ(traced.exit_code, plain.exit_code);
+  EXPECT_EQ(traced.output, plain.output);
+
+  std::ifstream file(trace_path);
+  ASSERT_TRUE(file.is_open()) << "no merged trace at " << trace_path;
+  std::ostringstream raw;
+  raw << file.rdbuf();
+  const std::string merged = raw.str();
+  // ONE document holding both halves of the trace, flows included.
+  EXPECT_NE(merged.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(merged.find("\"socet client\""), std::string::npos);
+  EXPECT_NE(merged.find("\"socet serve\""), std::string::npos);
+  EXPECT_NE(merged.find("\"serve/job\""), std::string::npos);
+  EXPECT_NE(merged.find("\"ph\":\"s\""), std::string::npos);
+  std::remove(jobs_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST(Cli, TailFollowsTheLiveJournalOverTheWire) {
+  service::ServerOptions options;
+  options.threads = 1;
+  service::Server server(std::move(options));
+  server.start();
+  const std::string connect = "127.0.0.1:" + std::to_string(server.port());
+
+  // Feed jobs until the tail below has seen enough; every replay uses
+  // corr job-1, which is exactly what the watcher filters on.
+  std::atomic<bool> stop{false};
+  std::thread feeder([&] {
+    while (!stop.load()) {
+      auto client = connect_to(server);
+      client.run_lines({"plan system=barcode"});
+      std::this_thread::sleep_for(20ms);
+    }
+  });
+  const CliRun tail =
+      run_cli("tail --connect " + connect + " --corr job-1 --count 2");
+  stop.store(true);
+  feeder.join();
+  EXPECT_EQ(tail.exit_code, 0) << tail.output;
+  // Two JSONL lines, each a live journal event for the watched corr.
+  EXPECT_NE(tail.output.find("\"corr\":\"job-1\""), std::string::npos)
+      << tail.output;
+  EXPECT_EQ(static_cast<int>(std::count(tail.output.begin(),
+                                        tail.output.end(), '\n')),
+            2)
+      << tail.output;
+}
+
+TEST(Cli, TopPrintsAReconnectBannerWhenTheDaemonIsGone) {
+  // Nothing listens on the discard port; top must not crash or hang —
+  // it banners, backs off (500ms then 1000ms), and exits cleanly.
+  const CliRun top =
+      run_cli("top --connect 127.0.0.1:9 --iterations 2 --interval-ms 10");
+  EXPECT_EQ(top.exit_code, 0) << top.output;
+  EXPECT_NE(top.output.find("reconnecting in 500ms"), std::string::npos)
+      << top.output;
+  EXPECT_NE(top.output.find("reconnecting in 1000ms"), std::string::npos)
+      << top.output;
+}
+
+TEST(Cli, TraceMergeCombinesTwoChromeTraces) {
+  const std::string base_path = testing::TempDir() + "merge_base.json";
+  const std::string overlay_path = testing::TempDir() + "merge_overlay.json";
+  const std::string out_path = testing::TempDir() + "merge_out.json";
+  {
+    std::ofstream base(base_path);
+    base << R"({"traceEvents":[{"name":"alpha","ph":"X","ts":1,"dur":2,"pid":1,"tid":1}]})";
+    std::ofstream overlay(overlay_path);
+    overlay << R"({"traceEvents":[{"name":"beta","ph":"X","ts":1,"dur":2,"pid":1,"tid":1}]})";
+  }
+  const CliRun merge =
+      run_cli("trace-merge --base " + base_path + " --overlay " +
+              overlay_path + " --offset-us 100 --out " + out_path);
+  EXPECT_EQ(merge.exit_code, 0) << merge.output;
+  std::ifstream file(out_path);
+  ASSERT_TRUE(file.is_open());
+  std::ostringstream raw;
+  raw << file.rdbuf();
+  const std::string merged = raw.str();
+  EXPECT_NE(merged.find("\"alpha\""), std::string::npos) << merged;
+  EXPECT_NE(merged.find("\"beta\""), std::string::npos);
+  EXPECT_NE(merged.find("\"ts\":101"), std::string::npos) << merged;
+
+  // A document without traceEvents is a structured failure.
+  EXPECT_EQ(run_cli("trace-merge --base " + base_path +
+                    " --overlay /nonexistent.json --out " + out_path)
+                .exit_code,
+            1);
+  std::remove(base_path.c_str());
+  std::remove(overlay_path.c_str());
+  std::remove(out_path.c_str());
 }
 
 }  // namespace

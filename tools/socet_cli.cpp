@@ -8,8 +8,11 @@
 //   socet parallel [--system ...] [--selection 1,2,3]  # session schedule
 //   socet batch    --jobs FILE [--threads N] # planning service (one job/line)
 //   socet serve    [--port N] [--threads N]  # persistent planning daemon
-//   socet client   --connect HOST:PORT (--jobs FILE | stats | health | metrics)
+//   socet client   --connect HOST:PORT (--jobs FILE | stats | health | metrics
+//                  | journal | profile)
 //   socet top      --connect HOST:PORT [--interval-ms N]  # live dashboard
+//   socet tail     --connect HOST:PORT [--corr ID] [--type PREFIX]  # live journal
+//   socet trace-merge --base A.json --overlay B.json  # one Chrome timeline
 //   socet sweep    [--system ...] [--threads N]  # parallel explore
 //   socet program  [--system ...]            # assembled test program
 //   socet verilog  --core CPU [--gates]      # Verilog to stdout
@@ -20,6 +23,7 @@
 // Core names: CPU, PREPROCESSOR, DISPLAY, GRAPHICS, GCD, X25.
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +32,7 @@
 #include <iostream>
 #include <iterator>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,6 +47,7 @@
 #include "socet/obs/resource.hpp"
 #include "socet/obs/sampler.hpp"
 #include "socet/obs/trace.hpp"
+#include "socet/obs/tracemerge.hpp"
 #include "socet/opt/optimize.hpp"
 #include "socet/service/client.hpp"
 #include "socet/service/protocol.hpp"
@@ -276,14 +282,36 @@ service::ClientOptions client_options(const Args& args) {
 
 /// Replay a job file against a daemon and print records to stdout —
 /// the remote path shared by `client --jobs` and `batch --connect`.
+/// With --trace FILE the run is distributed-traced end to end: clock
+/// handshake, per-job submit spans, daemon span collection, ONE merged
+/// Chrome trace to FILE.  stdout is byte-identical either way.
 int run_remote_jobs(const Args& args, const char* who) {
   const auto lines = read_job_lines(args.get("jobs", ""), who);
-  service::Client client(client_options(args));
+  const std::string trace_path = args.get("trace", "");
+  auto options = client_options(args);
+  options.trace = !trace_path.empty();
+  service::Client client(options);
   const auto report = client.run_lines(lines);
   std::printf("%s", report.records_text().c_str());
   std::fprintf(stderr, "%s: %zu jobs via %s, %zu errors, %zu busy\n", who,
                report.jobs, args.get("connect", "").c_str(), report.errors,
                report.busy);
+  if (options.trace) {
+    std::ofstream out(trace_path);
+    out << report.trace.chrome_trace();
+    if (!out.good()) {
+      std::fprintf(stderr, "error: cannot write trace '%s'\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "%s: merged trace: %zu client + %zu daemon spans, "
+                 "clock offset %lld ns -> %s\n",
+                 who, report.trace.client_spans.size(),
+                 report.trace.daemon_spans.size(),
+                 static_cast<long long>(report.trace.clock_offset_ns),
+                 trace_path.c_str());
+  }
   return (report.errors == 0 && report.busy == 0) ? 0 : 1;
 }
 
@@ -331,6 +359,9 @@ int cmd_serve(const Args& args) {
   options.metrics_host = args.get("metrics-host", options.metrics_host);
   options.metrics_port_file = args.get("metrics-port-file", "");
   options.access_log = args.get("access-log", "");
+  options.access_log_max_bytes =
+      parse_option_count(args, "access-log-max-bytes", 0);
+  options.journal_ring = parse_option_count(args, "journal-ring", 0);
   options.window_interval = std::chrono::milliseconds(parse_option_count(
       args, "metrics-interval-ms",
       static_cast<unsigned long>(options.window_interval.count())));
@@ -356,15 +387,93 @@ int cmd_serve(const Args& args) {
 
 int cmd_client(const Args& args) {
   const std::string verb = args.positional(0);
-  if (verb == "stats" || verb == "health" || verb == "metrics") {
+  if (verb == "stats" || verb == "health" || verb == "metrics" ||
+      verb == "journal") {
     service::Client client(client_options(args));
     std::printf("%s\n", client.query(verb).c_str());
     return 0;
   }
+  if (verb == "profile") {
+    // On-demand remote profiling: arm the daemon's SIGPROF sampler for
+    // --seconds and print "ok profile samples=N dropped=M" + folded
+    // stacks (flamegraph-ready).
+    service::Client client(client_options(args));
+    const std::string reply =
+        client.query("profile " + args.get("seconds", "1"));
+    std::printf("%s\n", reply.c_str());
+    return reply.rfind("ok ", 0) == 0 ? 0 : 1;
+  }
   util::require(verb.empty(),
                 "unknown client verb '" + verb +
-                    "' (use stats|health|metrics or --jobs FILE)");
+                    "' (use stats|health|metrics|journal|profile or "
+                    "--jobs FILE)");
   return run_remote_jobs(args, "client");
+}
+
+/// `socet tail --connect HOST:PORT [--corr ID] [--type PREFIX]`: watch
+/// the daemon's decision journal live.  One JSONL event per line to
+/// stdout; --count N exits after N events (tests/CI).
+int cmd_tail(const Args& args) {
+  const auto host_port =
+      service::parse_host_port(args.get("connect", ""));
+  const int fd = service::net_connect(host_port.host, host_port.port);
+  std::string request = "tail";
+  if (args.has("corr")) request += " corr=" + args.get("corr", "");
+  if (args.has("type")) request += " type=" + args.get("type", "");
+  service::write_frame(fd, request);
+  const auto ack = service::read_frame(fd);
+  if (!ack.has_value() || *ack != "ok tail") {
+    std::fprintf(stderr, "error: daemon answered '%s'\n",
+                 ack.value_or("<eof>").c_str());
+    ::close(fd);
+    return 1;
+  }
+  std::fprintf(stderr, "socet tail: watching %s (%s)\n",
+               args.get("connect", "").c_str(),
+               request == "tail" ? "all events" : request.c_str() + 5);
+  const auto count = parse_option_count(args, "count", 0);
+  unsigned long seen = 0;
+  while (count == 0 || seen < count) {
+    const auto event = service::read_frame(fd);
+    if (!event.has_value()) break;  // daemon drained / connection closed
+    std::printf("%s\n", event->c_str());
+    std::fflush(stdout);
+    ++seen;
+  }
+  ::close(fd);
+  return 0;
+}
+
+/// `socet trace-merge --base A.json --overlay B.json [--offset-us X]`:
+/// concatenate two Chrome trace documents onto one timeline (overlay
+/// pids remapped past the base's, timestamps shifted by the offset).
+int cmd_trace_merge(const Args& args) {
+  const auto read_text = [](const std::string& path, const char* what) {
+    util::require(!path.empty(),
+                  std::string("trace-merge needs --") + what + " FILE");
+    std::ifstream file(path);
+    util::require(file.good(), "cannot open '" + path + "'");
+    return std::string((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string base = read_text(args.get("base", ""), "base");
+  const std::string overlay = read_text(args.get("overlay", ""), "overlay");
+  const double offset_us =
+      std::strtod(args.get("offset-us", "0").c_str(), nullptr);
+  std::string merged;
+  std::string error;
+  util::require(
+      obs::merge_chrome_trace_files(base, overlay, offset_us, &merged, &error),
+      "trace-merge: " + error);
+  const std::string out_path = args.get("out", "");
+  if (out_path.empty()) {
+    std::printf("%s", merged.c_str());
+    return 0;
+  }
+  std::ofstream out(out_path);
+  out << merged;
+  util::require(out.good(), "cannot write '" + out_path + "'");
+  return 0;
 }
 
 /// Parse one Prometheus exposition into {sample line -> value}, keyed
@@ -419,9 +528,14 @@ int cmd_top(const Args& args) {
   const auto interval_ms = parse_option_count(args, "interval-ms", 1000);
   // 0 = until interrupted; tests and CI pass a small bound.
   const auto iterations = parse_option_count(args, "iterations", 0);
-  service::Client client(client_options(args));
   const bool tty = ::isatty(STDOUT_FILENO) != 0;
 
+  // The dashboard survives a daemon restart: a failed connect or query
+  // drops the connection, prints a reconnecting banner, and retries
+  // with capped exponential backoff instead of exiting.
+  std::unique_ptr<service::Client> client;
+  unsigned long backoff_ms = 0;
+  bool have_prev = false;
   std::map<std::string, std::uint64_t> prev_stats;
   std::map<std::string, double> prev_samples;
   auto prev_at = std::chrono::steady_clock::now();
@@ -429,8 +543,26 @@ int cmd_top(const Args& args) {
     if (i > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
     }
-    const auto stats = parse_stats(client.query("stats"));
-    const auto samples = parse_exposition(client.query("metrics"));
+    std::map<std::string, std::uint64_t> stats;
+    std::map<std::string, double> samples;
+    try {
+      if (!client) {
+        client = std::make_unique<service::Client>(client_options(args));
+      }
+      stats = parse_stats(client->query("stats"));
+      samples = parse_exposition(client->query("metrics"));
+      backoff_ms = 0;
+    } catch (const std::exception& e) {
+      client.reset();
+      have_prev = false;  // rates restart once the daemon is back
+      backoff_ms =
+          backoff_ms == 0 ? 500 : std::min<unsigned long>(backoff_ms * 2, 5000);
+      std::printf("socet top — %s — reconnecting in %lums (%s)\n",
+                  args.get("connect", "").c_str(), backoff_ms, e.what());
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      continue;
+    }
     const auto now = std::chrono::steady_clock::now();
     const double elapsed_s =
         std::chrono::duration<double>(now - prev_at).count();
@@ -439,7 +571,7 @@ int cmd_top(const Args& args) {
       return it == stats.end() ? 0 : it->second;
     };
     const auto rate = [&](const char* key) -> double {
-      if (i == 0 || elapsed_s <= 0) return 0.0;
+      if (!have_prev || elapsed_s <= 0) return 0.0;
       const auto it = prev_stats.find(key);
       const std::uint64_t prev = it == prev_stats.end() ? 0 : it->second;
       return static_cast<double>(stat(key) - prev) / elapsed_s;
@@ -505,7 +637,7 @@ int cmd_top(const Args& args) {
       const double prev_us =
           prev_it == prev_samples.end() ? 0.0 : prev_it->second;
       const double pct =
-          (i == 0 || elapsed_s <= 0)
+          (!have_prev || elapsed_s <= 0)
               ? 0.0
               : 100.0 * (busy_us - prev_us) / (elapsed_s * 1e6);
       std::printf(" w%llu=%.1f%%", static_cast<unsigned long long>(w), pct);
@@ -513,8 +645,9 @@ int cmd_top(const Args& args) {
     std::printf("\n");
     std::fflush(stdout);
 
-    prev_stats = stats;
-    prev_samples = samples;
+    have_prev = true;
+    prev_stats = std::move(stats);
+    prev_samples = std::move(samples);
     prev_at = now;
   }
   return 0;
@@ -594,19 +727,34 @@ int cmd_interface(const Args& args) {
 }
 
 int cmd_explain(const Args& args) {
-  const std::string path = args.get("journal", "");
-  util::require(!path.empty(),
-                "explain needs --journal FILE (record one with e.g. "
-                "`socet plan --journal run.jsonl`)");
-  std::ifstream file(path);
-  util::require(file.good(), "cannot open journal '" + path + "'");
-  const std::string text((std::istreambuf_iterator<char>(file)),
-                         std::istreambuf_iterator<char>());
+  std::string text;
+  if (args.has("connect")) {
+    // Query the daemon's in-memory journal ring directly — no file
+    // shipping.  Needs `socet serve --journal-ring N`.
+    service::Client client(client_options(args));
+    const std::string reply = client.query("journal");
+    const std::string prefix = "ok journal\n";
+    util::require(reply.rfind(prefix, 0) == 0,
+                  "daemon answered '" + reply.substr(0, 120) + "'");
+    text = reply.substr(prefix.size());
+  } else {
+    const std::string path = args.get("journal", "");
+    util::require(!path.empty(),
+                  "explain needs --journal FILE (record one with e.g. "
+                  "`socet plan --journal run.jsonl`) or --connect HOST:PORT");
+    std::ifstream file(path);
+    util::require(file.good(), "cannot open journal '" + path + "'");
+    text.assign((std::istreambuf_iterator<char>(file)),
+                std::istreambuf_iterator<char>());
+  }
 
   obs::JournalDoc doc;
   std::string error;
+  const std::string source = args.has("connect")
+                                 ? args.get("connect", "")
+                                 : args.get("journal", "");
   util::require(obs::load_journal(text, &doc, &error),
-                "bad journal '" + path + "': " + error);
+                "bad journal '" + source + "': " + error);
 
   const std::string query = args.positional(0);
   util::require(!query.empty(),
@@ -641,31 +789,44 @@ int usage() {
       "  batch     --jobs FILE|- [--threads N] [--cache N]\n"
       "            [--cache-bytes N] [--verbose] [--connect HOST:PORT]\n"
       "            (planning service; one job per line, see docs/FORMATS.md;\n"
-      "            --connect replays the file against a running daemon)\n"
+      "            --connect replays the file against a running daemon;\n"
+      "            --connect --trace FILE writes ONE merged client+daemon\n"
+      "            Chrome trace on aligned clocks)\n"
       "  serve     [--host H] [--port N] [--threads N] [--cache N]\n"
       "            [--cache-bytes N] [--max-queue N] [--window N]\n"
       "            [--port-file FILE]\n"
       "            [--metrics-port N] [--metrics-host H]\n"
       "            [--metrics-port-file FILE] [--access-log FILE]\n"
+      "            [--access-log-max-bytes N] [--journal-ring N]\n"
       "            [--metrics-interval-ms N]\n"
       "            (persistent planning daemon, docs/SERVICE.md; drain\n"
       "            with SIGTERM; wire protocol in docs/FORMATS.md §6;\n"
-      "            --metrics-port serves GET /metrics /healthz /readyz,\n"
-      "            --access-log writes one serve.access JSONL line per\n"
-      "            request, docs/FORMATS.md §7)\n"
+      "            --metrics-port serves GET /metrics /healthz /readyz\n"
+      "            /debug/slowreqs, --access-log writes one serve.access\n"
+      "            JSONL line per request (docs/FORMATS.md §7, rotated to\n"
+      "            .1 past --access-log-max-bytes), --journal-ring keeps\n"
+      "            the newest N decision events for `journal`/explain)\n"
       "  client    --connect HOST:PORT (--jobs FILE|- | stats | health |\n"
-      "            metrics) [--window N]\n"
+      "            metrics | journal | profile [--seconds S]) [--window N]\n"
       "  top       --connect HOST:PORT [--interval-ms N] [--iterations N]\n"
       "            (live dashboard over stats+metrics; daemon needs a\n"
-      "            telemetry flag for window quantiles and busy%%)\n"
+      "            telemetry flag for window quantiles and busy%%;\n"
+      "            reconnects with backoff if the daemon restarts)\n"
+      "  tail      --connect HOST:PORT [--corr ID] [--type PREFIX]\n"
+      "            [--count N] (stream the daemon's decision journal\n"
+      "            live, one JSONL event per line)\n"
+      "  trace-merge --base FILE --overlay FILE [--offset-us X]\n"
+      "            [--out FILE] (concatenate two Chrome traces onto one\n"
+      "            timeline)\n"
       "  sweep     [--system ...] [--threads N] (parallel explore)\n"
       "  program   [--system ...] [--selection 1,2,3]\n"
       "  verilog   --core NAME [--gates]\n"
       "  dot       --core NAME | --ccg [--system ...]\n"
       "  interface --core NAME\n"
       "  explain   mux|version|route|reject [NAME [VERSION]]\n"
-      "            --journal FILE (provenance queries over a recorded\n"
-      "            decision journal)\n"
+      "            (--journal FILE | --connect HOST:PORT) (provenance\n"
+      "            queries over a recorded decision journal, or the\n"
+      "            daemon's live ring via --connect + --journal-ring)\n"
       "observability (any command; stdout is never touched):\n"
       "  --metrics       print the metrics table to stderr on exit\n"
       "  --trace FILE    write a Chrome trace-event JSON (chrome://tracing)\n"
@@ -689,7 +850,9 @@ const std::map<std::string, Command>& commands() {
       {"optimize", cmd_optimize}, {"explore", cmd_explore},
       {"batch", cmd_batch},       {"sweep", cmd_sweep},
       {"serve", cmd_serve},       {"client", cmd_client},
-      {"top", cmd_top},           {"program", cmd_program},
+      {"top", cmd_top},           {"tail", cmd_tail},
+      {"trace-merge", cmd_trace_merge},
+      {"program", cmd_program},
       {"parallel", cmd_parallel}, {"verilog", cmd_verilog},
       {"dot", cmd_dot},           {"interface", cmd_interface},
       {"explain", cmd_explain}};
@@ -715,10 +878,16 @@ int main(int argc, char** argv) {
   const std::string trace_path = args.get("trace", "");
   const std::string report_path = args.get("report", "");
   const std::string profile_path = args.get("profile", "");
+  // `batch/client --connect --trace FILE` owns its trace file: the
+  // client writes ONE merged cross-process document there, so the local
+  // tracer must not arm (and must not overwrite it on exit).
+  const bool remote_trace =
+      args.has("connect") &&
+      (command->first == "batch" || command->first == "client");
   if (args.has("metrics") || !report_path.empty()) {
     obs::set_metrics_enabled(true);
   }
-  if (!trace_path.empty() || !report_path.empty()) {
+  if ((!trace_path.empty() && !remote_trace) || !report_path.empty()) {
     obs::set_trace_enabled(true);
   }
   if (!report_path.empty()) {
@@ -771,7 +940,7 @@ int main(int argc, char** argv) {
       status = status == 0 ? 1 : status;
     }
   };
-  if (!trace_path.empty()) {
+  if (!trace_path.empty() && !remote_trace) {
     write_file(trace_path, obs::chrome_trace_json(), "trace");
   }
   if (!journal_path.empty()) {
