@@ -11,16 +11,28 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "socet/obs/report.hpp"
 #include "socet/obs/timer.hpp"
+#include "socet/obs/trace.hpp"
 
 namespace socet::bench {
 
 class BenchReport {
  public:
-  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  /// When SOCET_BENCH_TRACE=<path> is set (socet_bench --capture-traces
+  /// exports it on the attribution re-run), the whole bench records
+  /// spans and writes a Chrome trace there on finish() — the input to
+  /// `socet trace-analyze` / the gate's per-stage attribution table.
+  explicit BenchReport(std::string name) : name_(std::move(name)) {
+    const char* path = std::getenv("SOCET_BENCH_TRACE");
+    if (path != nullptr && path[0] != '\0') {
+      trace_path_ = path;
+      obs::set_trace_enabled(true);
+    }
+  }
 
   /// Attach an extra numeric field to the JSON line.
   void metric(const std::string& key, double value) {
@@ -47,12 +59,21 @@ class BenchReport {
                  skipped_ ? ",\"skipped\":true" : "",
                  obs::json_number(watch_.elapsed_ms()).c_str(),
                  extra_.c_str());
+    if (!trace_path_.empty()) {
+      std::FILE* out = std::fopen(trace_path_.c_str(), "w");
+      if (out != nullptr) {
+        const std::string trace = obs::chrome_trace_json();
+        std::fwrite(trace.data(), 1, trace.size(), out);
+        std::fclose(out);
+      }
+    }
     return ok ? 0 : 1;
   }
 
  private:
   std::string name_;
   std::string extra_;
+  std::string trace_path_;
   bool skipped_ = false;
   obs::StopWatch watch_;
 };

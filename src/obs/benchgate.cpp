@@ -178,6 +178,36 @@ std::string trajectory_json(std::string_view existing_text,
   return out;
 }
 
+bool trajectory_last_median(std::string_view text, double* median_ms) {
+  JsonValue doc;
+  if (text.empty() || !json_parse(text, &doc) || !doc.is_object()) {
+    return false;
+  }
+  const JsonValue* schema = doc.get("schema");
+  const JsonValue* points = doc.get("points");
+  if (schema == nullptr ||
+      schema->string_or("") != "socet-bench-trajectory-v1" ||
+      points == nullptr || !points->is_array()) {
+    return false;
+  }
+  // Newest comparable point wins; skipped/failed points never carry a
+  // meaningful median, so walk backwards past them.
+  for (auto it = points->array_value.rbegin(); it != points->array_value.rend();
+       ++it) {
+    if (!it->is_object()) continue;
+    if (it->get("skipped") != nullptr &&
+        it->get("skipped")->bool_or(false)) {
+      continue;
+    }
+    if (it->get("ok") != nullptr && !it->get("ok")->bool_or(true)) continue;
+    const JsonValue* median = it->get("wall_ms_median");
+    if (median == nullptr || !median->is_number()) continue;
+    *median_ms = median->number_value;
+    return true;
+  }
+  return false;
+}
+
 bool parse_baseline(std::string_view text, Baseline* out, std::string* error) {
   *out = Baseline();
   JsonValue doc;

@@ -70,6 +70,12 @@ std::string trajectory_json(std::string_view existing_text,
                             const RunRecord& record,
                             const std::string& label);
 
+/// Median wall time of the newest comparable (non-skipped, ok) point
+/// in a `socet-bench-trajectory-v1` document.  Returns false when the
+/// text is empty/unparseable or no such point exists — the gate then
+/// shows "-" in its delta-vs-previous column instead of a bogus zero.
+bool trajectory_last_median(std::string_view text, double* median_ms);
+
 /// `bench/baseline.json`: bench name -> reference median wall_ms.
 struct Baseline {
   std::map<std::string, double> wall_ms;

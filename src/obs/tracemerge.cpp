@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <set>
 
 #include "socet/obs/jsonin.hpp"
 #include "socet/obs/report.hpp"
@@ -345,6 +346,44 @@ bool merge_chrome_trace_files(const std::string& base_json,
     if (pid != nullptr) base_max_pid = std::max(base_max_pid, pid->number_or(0));
   }
 
+  // Span ids are only unique within one document (time-seeded per
+  // process, new_span_id); two captures can reuse an id.  When the
+  // overlay shares any id with the base, remap every colliding overlay
+  // id to a fresh value past everything either document uses —
+  // first-appearance order, so the remap is deterministic and the
+  // overlay's own parent chains stay intact.  Collision-free merges
+  // are re-serialized byte-identically (empty remap).
+  const auto collect_ids = [](const JsonValue* events,
+                              std::set<std::uint64_t>* ids,
+                              std::vector<std::uint64_t>* order) {
+    for (const JsonValue& event : events->array_value) {
+      for (const char* key : {"id", "span", "parent"}) {
+        const JsonValue* field =
+            key[0] == 'i' ? event.get(key)
+                          : (event.get("args") != nullptr
+                                 ? event.get("args")->get(key)
+                                 : nullptr);
+        if (field == nullptr || !field->is_string()) continue;
+        const std::uint64_t id = parse_u64(field->string_value, 16);
+        if (id == 0) continue;
+        if (ids->insert(id).second && order != nullptr) order->push_back(id);
+      }
+    }
+  };
+  std::set<std::uint64_t> base_ids;
+  collect_ids(base_events, &base_ids, nullptr);
+  std::set<std::uint64_t> overlay_ids;
+  std::vector<std::uint64_t> overlay_order;  ///< first-appearance order
+  collect_ids(overlay_events, &overlay_ids, &overlay_order);
+  std::map<std::uint64_t, std::uint64_t> remap;
+  std::uint64_t next_id =
+      std::max(base_ids.empty() ? 0 : *base_ids.rbegin(),
+               overlay_ids.empty() ? 0 : *overlay_ids.rbegin()) +
+      1;
+  for (const std::uint64_t id : overlay_order) {
+    if (base_ids.count(id) != 0) remap[id] = next_id++;
+  }
+
   *out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   for (const JsonValue& event : base_events->array_value) {
@@ -358,6 +397,21 @@ bool merge_chrome_trace_files(const std::string& base_json,
         value.number_value += base_max_pid;
       } else if (key == "ts" && value.is_number()) {
         value.number_value += overlay_offset_us;
+      }
+    }
+    if (!remap.empty()) {
+      const auto rewrite = [&remap](JsonValue& field) {
+        if (!field.is_string()) return;
+        const auto it = remap.find(parse_u64(field.string_value, 16));
+        if (it != remap.end()) field.string_value = hex_id(it->second);
+      };
+      for (auto& [key, value] : event.object_value) {
+        if (key == "id") rewrite(value);
+        if (key == "args" && value.is_object()) {
+          for (auto& [arg_key, arg_value] : value.object_value) {
+            if (arg_key == "span" || arg_key == "parent") rewrite(arg_value);
+          }
+        }
       }
     }
     if (!first) *out += ',';

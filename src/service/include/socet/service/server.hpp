@@ -112,6 +112,7 @@ struct ServerStats {
   std::uint64_t queue_depth = 0;   ///< admitted, not yet executing
   std::uint64_t queue_depth_hwm = 0;  ///< high-water mark since start
   std::uint64_t inflight = 0;      ///< executing right now
+  std::uint64_t tail_dropped = 0;  ///< journal events lost to slow tailers
   unsigned workers = 0;
   bool draining = false;
   CacheStats cache;

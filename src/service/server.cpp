@@ -111,6 +111,7 @@ std::string ServerStats::text() const {
   field("bad_frames", bad_frames);
   field("queue_depth", queue_depth);
   field("queue_hwm", queue_depth_hwm);
+  field("tail_dropped", tail_dropped);
   field("inflight", inflight);
   field("draining", draining ? 1 : 0);
   field("cache_hits", cache.hits);
@@ -229,7 +230,10 @@ struct Server::Impl {
   std::mutex tail_mutex;
   std::vector<TailEvent> tail_pending;
   std::deque<std::string> journal_ring_lines;
-  std::uint64_t tail_dropped = 0;
+  // Events lost to slow `socet tail` watchers — pending-buffer overflow
+  // (tap thread) plus per-connection write-budget drops (event loop).
+  // Atomic because the stats/metrics paths read it cross-thread.
+  std::atomic<std::uint64_t> tail_dropped{0};
   std::atomic<int> tailers{0};
   bool tap_installed = false;  ///< event-loop/start-thread only
 
@@ -404,7 +408,7 @@ struct Server::Impl {
         if (tailers.load(std::memory_order_relaxed) > 0) {
           if (tail_pending.size() >= kMaxTailPending) {
             tail_pending.erase(tail_pending.begin());
-            ++tail_dropped;
+            tail_dropped.fetch_add(1, std::memory_order_relaxed);
           }
           tail_pending.push_back(TailEvent{type, corr, line});
           notify = true;
@@ -660,6 +664,7 @@ struct Server::Impl {
       if (conn->tailing && !conn->dead) watchers.push_back(conn);
     }
     for (const auto& conn : watchers) {
+      std::uint64_t dropped = 0;
       for (const auto& event : batch) {
         if (!conn->tail_corr.empty() && event.corr != conn->tail_corr) {
           continue;
@@ -670,9 +675,13 @@ struct Server::Impl {
           continue;
         }
         if (conn->out.size() - conn->out_off >= options.max_buffered_bytes) {
-          break;  // slow watcher: drop the rest of this batch
+          ++dropped;  // slow watcher: this event will never be sent
+          continue;   // keep counting the rest of the batch
         }
         conn->out += encode_frame(event.line);
+      }
+      if (dropped > 0) {
+        tail_dropped.fetch_add(dropped, std::memory_order_relaxed);
       }
       try_write(conn);
     }
@@ -1111,6 +1120,12 @@ struct Server::Impl {
     gauge("socet_serve_draining", s.draining ? 1 : 0);
     gauge("socet_serve_cache_entries", s.cache_entries);
     gauge("socet_serve_cache_bytes", s.cache_bytes);
+    // Monotone counter, not a gauge: journal events lost to slow
+    // `socet tail` subscribers (rate() it to spot a chronically
+    // lagging watcher).
+    out += "# TYPE socet_serve_tail_dropped_total counter\n";
+    out += "socet_serve_tail_dropped_total " +
+           std::to_string(s.tail_dropped) + "\n";
     // Build identity + start time: the standard Prometheus idiom for
     // "which binary is this and how long has it been up".
     out += "# TYPE socet_build_info gauge\n";
@@ -1133,6 +1148,7 @@ struct Server::Impl {
     stats.queue_depth = queue_depth.load(std::memory_order_relaxed);
     stats.queue_depth_hwm = queue_hwm.load(std::memory_order_relaxed);
     stats.inflight = inflight.load(std::memory_order_relaxed);
+    stats.tail_dropped = tail_dropped.load(std::memory_order_relaxed);
     stats.workers = options.threads;
     stats.draining = draining.load(std::memory_order_relaxed);
     stats.cache = cache.stats();

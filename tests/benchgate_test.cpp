@@ -204,6 +204,38 @@ TEST(TrajectoryTest, CorruptExistingFileRestartsTrajectory) {
   EXPECT_EQ(doc.get("points")->array_value.size(), 1u);
 }
 
+TEST(TrajectoryTest, LastMedianReturnsNewestComparablePoint) {
+  std::string text = bench::trajectory_json("", make_record("t", 10), "a");
+  text = bench::trajectory_json(text, make_record("t", 14), "b");
+  double median = 0;
+  ASSERT_TRUE(bench::trajectory_last_median(text, &median));
+  EXPECT_EQ(median, 14.0);
+
+  // A newer skipped point and a newer failed point both yield to the
+  // last point that actually measured something.
+  RunRecord skipped = make_record("t", 99);
+  skipped.skipped = true;
+  text = bench::trajectory_json(text, skipped, "c");
+  RunRecord failed = make_record("t", 77);
+  failed.ok = false;
+  text = bench::trajectory_json(text, failed, "d");
+  ASSERT_TRUE(bench::trajectory_last_median(text, &median));
+  EXPECT_EQ(median, 14.0);
+}
+
+TEST(TrajectoryTest, LastMedianRejectsEmptyCorruptOrAllSkipped) {
+  double median = 0;
+  EXPECT_FALSE(bench::trajectory_last_median("", &median));
+  EXPECT_FALSE(bench::trajectory_last_median("{not json", &median));
+  EXPECT_FALSE(bench::trajectory_last_median(
+      R"({"schema":"other-v1","points":[{"wall_ms_median":5}]})", &median));
+  RunRecord skipped = make_record("t", 5);
+  skipped.skipped = true;
+  const std::string only_skipped =
+      bench::trajectory_json("", skipped, "a");
+  EXPECT_FALSE(bench::trajectory_last_median(only_skipped, &median));
+}
+
 // ---------------------------------------------------------------- baseline
 
 TEST(BaselineTest, RoundTripsThroughRenderAndParse) {

@@ -310,6 +310,8 @@ TEST(Serve, HealthAndStatsRoundTrip) {
   EXPECT_EQ(stats.rfind("ok stats workers=2 ", 0), 0u) << stats;
   EXPECT_NE(stats.find(" draining=0 "), std::string::npos) << stats;
   EXPECT_NE(stats.find(" cache_entries=0 "), std::string::npos) << stats;
+  // A healthy daemon with no tailers has lost zero journal events.
+  EXPECT_NE(stats.find(" tail_dropped=0"), std::string::npos) << stats;
 }
 
 TEST(Serve, MatchesBatchByteForByteAtEveryWorkerCount) {
@@ -657,6 +659,9 @@ TEST(Serve, HttpEndpointsServeMetricsAndFlipReadinessDuringDrain) {
   EXPECT_NE(metrics.find("200 OK\r\n"), std::string::npos) << metrics;
   EXPECT_NE(metrics.find("# TYPE"), std::string::npos);
   EXPECT_NE(metrics.find("socet_serve_up 1"), std::string::npos);
+  EXPECT_NE(metrics.find("socet_serve_tail_dropped_total 0"),
+            std::string::npos)
+      << metrics;
   EXPECT_NE(http_get(mport, "GET /nope HTTP/1.0").find("404"),
             std::string::npos);
   EXPECT_NE(http_get(mport, "POST /metrics HTTP/1.0").find("405"),

@@ -26,11 +26,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "socet/obs/benchgate.hpp"
+#include "socet/obs/traceanalyze.hpp"
 #include "socet/util/table.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -59,6 +61,7 @@ struct Options {
   unsigned repeat = 3;
   double tolerance_pct = 25.0;
   bool list_only = false;
+  bool capture_traces = false;  ///< attribution re-run on gate failure
 };
 
 int usage() {
@@ -79,6 +82,11 @@ int usage() {
       "  --tolerance-pct P      regression tolerance for --check\n"
       "                         (default 25)\n"
       "  --update-baseline FILE write medians as the new baseline\n"
+      "  --capture-traces       when the --check gate fails, re-run each\n"
+      "                         regressed bench once with tracing on\n"
+      "                         (TRACE_<name>.json in --out-dir) and print\n"
+      "                         a per-stage attribution table naming the\n"
+      "                         guilty stage\n"
       "  --list                 list discovered benches and exit\n");
   return 2;
 }
@@ -91,6 +99,8 @@ bool parse_options(int argc, char** argv, Options* out) {
     };
     if (arg == "--list") {
       out->list_only = true;
+    } else if (arg == "--capture-traces") {
+      out->capture_traces = true;
     } else if (arg == "--bin-dir") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -177,8 +187,11 @@ struct ChildResult {
 };
 
 /// Run one bench binary: stdout to /dev/null (the human tables are not
-/// ours to parse), stderr through a pipe, rusage via wait4.
-bool run_child(const std::string& path, ChildResult* out) {
+/// ours to parse), stderr through a pipe, rusage via wait4.  A
+/// non-empty `trace_path` exports SOCET_BENCH_TRACE to the child so it
+/// records spans and writes a Chrome trace there (bench/report.hpp).
+bool run_child(const std::string& path, ChildResult* out,
+               const std::string& trace_path = "") {
   int pipe_fds[2];
   if (::pipe(pipe_fds) != 0) return false;
   const pid_t pid = ::fork();
@@ -193,6 +206,9 @@ bool run_child(const std::string& path, ChildResult* out) {
     if (devnull >= 0) ::dup2(devnull, STDOUT_FILENO);
     ::dup2(pipe_fds[1], STDERR_FILENO);
     ::close(pipe_fds[1]);
+    if (!trace_path.empty()) {
+      ::setenv("SOCET_BENCH_TRACE", trace_path.c_str(), 1);
+    }
     ::execl(path.c_str(), path.c_str(), static_cast<char*>(nullptr));
     _exit(127);
   }
@@ -270,6 +286,66 @@ bool measure_bench(const Options& options, const std::string& binary,
   return true;
 }
 
+/// --capture-traces: re-run one regressed bench with tracing on and
+/// print a per-stage wall-time attribution table, so the gate names
+/// the guilty stage instead of leaving a human to open the trace.
+/// Diagnostic only — a failed re-run prints a note, never flips the
+/// gate verdict (the regression already did that).
+void attribute_regression(const Options& options, const std::string& name) {
+  const std::string path = options.bin_dir + "/bench_" + name;
+  const std::string trace_path = options.out_dir + "/TRACE_" + name + ".json";
+  std::fprintf(stderr, "re-running bench_%s with tracing for attribution...\n",
+               name.c_str());
+  ChildResult child;
+  if (!run_child(path, &child, trace_path)) {
+    std::printf("attribution: could not re-run bench_%s\n", name.c_str());
+    return;
+  }
+  obs::analyze::TraceData trace;
+  std::string error;
+  if (!obs::analyze::load_trace(read_file(trace_path), &trace, &error)) {
+    std::printf("attribution: bench_%s trace unreadable: %s\n", name.c_str(),
+                error.c_str());
+    return;
+  }
+  const obs::analyze::Aggregate agg = obs::analyze::aggregate({trace});
+  util::Table table({"stage", "spans", "total (ms)", "self (ms)", "share %"});
+  double self_total = 0;
+  for (const obs::analyze::NameStats& stage : agg.by_stage) {
+    self_total += stage.self_us;
+  }
+  // by_stage is total-sorted; rank by self so a slow leaf beats the
+  // root span that merely contains it (same reasoning as diff()).
+  std::vector<obs::analyze::NameStats> stages = agg.by_stage;
+  std::sort(stages.begin(), stages.end(),
+            [](const obs::analyze::NameStats& a,
+               const obs::analyze::NameStats& b) {
+              if (a.self_us != b.self_us) return a.self_us > b.self_us;
+              return a.name < b.name;
+            });
+  for (const obs::analyze::NameStats& stage : stages) {
+    table.add_row(
+        {stage.name, std::to_string(stage.count),
+         util::Table::num(stage.total_us / 1e3, 2),
+         util::Table::num(stage.self_us / 1e3, 2),
+         util::Table::num(
+             self_total <= 0 ? 0 : 100.0 * stage.self_us / self_total, 1)});
+  }
+  std::printf("\nper-stage attribution for bench_%s (trace: %s):\n%s",
+              name.c_str(), trace_path.c_str(), table.to_text().c_str());
+  if (!stages.empty()) {
+    std::printf("guilty stage: %s (%s ms self, %s%% of traced time)\n",
+                stages.front().name.c_str(),
+                util::Table::num(stages.front().self_us / 1e3, 2).c_str(),
+                util::Table::num(self_total <= 0 ? 0
+                                                 : 100.0 *
+                                                       stages.front().self_us /
+                                                       self_total,
+                                 1)
+                    .c_str());
+  }
+}
+
 const char* verdict_text(CheckOutcome::Verdict verdict) {
   switch (verdict) {
     case CheckOutcome::Verdict::kPass: return "pass";
@@ -307,6 +383,9 @@ int main(int argc, char** argv) {
   }
 
   std::vector<RunRecord> records;
+  // Median of each bench's newest comparable trajectory point *before*
+  // this run appends its own — feeds the gate's delta-vs-prev column.
+  std::map<std::string, double> prev_medians;
   bool all_parsed = true;
   util::Table table({"bench", "wall med (ms)", "iqr", "min", "rss (MB)",
                      "cpu (ms)", "status"});
@@ -331,8 +410,13 @@ int main(int argc, char** argv) {
 
     const std::string trajectory_path =
         options.out_dir + "/BENCH_" + record.name + ".json";
-    const std::string updated = obs::bench::trajectory_json(
-        read_file(trajectory_path), record, options.label);
+    const std::string prior = read_file(trajectory_path);
+    double prev_ms = 0;
+    if (obs::bench::trajectory_last_median(prior, &prev_ms)) {
+      prev_medians[record.name] = prev_ms;
+    }
+    const std::string updated =
+        obs::bench::trajectory_json(prior, record, options.label);
     if (!write_file(trajectory_path, updated)) {
       std::fprintf(stderr, "error: cannot write '%s'\n",
                    trajectory_path.c_str());
@@ -382,11 +466,20 @@ int main(int argc, char** argv) {
     const auto outcomes = obs::bench::check_against_baseline(
         records, baseline, options.tolerance_pct);
     util::Table gate({"bench", "baseline (ms)", "measured (ms)",
-                      "margin (ms)", "iqr allow (ms)", "limit (ms)",
-                      "verdict"});
+                      "vs prev (ms)", "margin (ms)", "iqr allow (ms)",
+                      "limit (ms)", "verdict"});
     for (const CheckOutcome& outcome : outcomes) {
+      // Drift against the previous trajectory point: visible before it
+      // accumulates into a baseline breach.  "-" = no comparable point.
+      std::string vs_prev = "-";
+      const auto prev = prev_medians.find(outcome.name);
+      if (prev != prev_medians.end() &&
+          outcome.verdict != CheckOutcome::Verdict::kSkipped) {
+        const double delta = outcome.measured_ms - prev->second;
+        vs_prev = (delta >= 0 ? "+" : "") + util::Table::num(delta, 2);
+      }
       gate.add_row({outcome.name, util::Table::num(outcome.baseline_ms, 2),
-                    util::Table::num(outcome.measured_ms, 2),
+                    util::Table::num(outcome.measured_ms, 2), vs_prev,
                     util::Table::num(outcome.margin_ms, 2),
                     util::Table::num(outcome.iqr_allowance_ms, 2),
                     util::Table::num(outcome.limit_ms, 2),
@@ -397,6 +490,12 @@ int main(int argc, char** argv) {
     if (obs::bench::has_regression(outcomes)) {
       std::printf("GATE FAILED\n");
       status = 1;
+      if (options.capture_traces) {
+        for (const CheckOutcome& outcome : outcomes) {
+          if (outcome.verdict != CheckOutcome::Verdict::kRegression) continue;
+          attribute_regression(options, outcome.name);
+        }
+      }
     } else {
       std::printf("gate passed\n");
     }

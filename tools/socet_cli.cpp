@@ -13,6 +13,7 @@
 //   socet top      --connect HOST:PORT [--interval-ms N]  # live dashboard
 //   socet tail     --connect HOST:PORT [--corr ID] [--type PREFIX]  # live journal
 //   socet trace-merge --base A.json --overlay B.json  # one Chrome timeline
+//   socet trace-analyze TRACE.json [--diff A B]  # critical path / attribution
 //   socet sweep    [--system ...] [--threads N]  # parallel explore
 //   socet program  [--system ...]            # assembled test program
 //   socet verilog  --core CPU [--gates]      # Verilog to stdout
@@ -47,6 +48,7 @@
 #include "socet/obs/resource.hpp"
 #include "socet/obs/sampler.hpp"
 #include "socet/obs/trace.hpp"
+#include "socet/obs/traceanalyze.hpp"
 #include "socet/obs/tracemerge.hpp"
 #include "socet/opt/optimize.hpp"
 #include "socet/service/client.hpp"
@@ -476,6 +478,79 @@ int cmd_trace_merge(const Args& args) {
   return 0;
 }
 
+/// `socet trace-analyze FILE... [--json] [--folded] [--top N] [--out F]`
+/// or `socet trace-analyze --diff A.json B.json [--json]`: offline
+/// analytics over Chrome-trace / journal artifacts — critical path,
+/// per-stage latency distributions, and differential attribution
+/// (docs/OBSERVABILITY.md "Analyzing traces").
+int cmd_trace_analyze(const Args& args) {
+  const auto read_text = [](const std::string& path) {
+    std::ifstream file(path);
+    util::require(file.good(), "cannot open '" + path + "'");
+    return std::string((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+  };
+  const auto load = [&read_text](const std::string& path) {
+    obs::analyze::TraceData trace;
+    std::string error;
+    util::require(obs::analyze::load_trace(read_text(path), &trace, &error),
+                  "trace-analyze: " + path + ": " + error);
+    return trace;
+  };
+  // parse_args folds the token after a bare flag into its value, so a
+  // file name following --json/--folded is really another input.
+  std::vector<std::string> inputs = args.positionals;
+  for (const char* flag : {"json", "folded"}) {
+    const std::string value = args.get(flag, "");
+    if (!value.empty()) inputs.push_back(value);
+  }
+  const bool as_json = args.has("json");
+  const std::size_t top =
+      static_cast<std::size_t>(parse_option_count(args, "top", 12));
+
+  std::string rendered;
+  if (args.has("diff")) {
+    const std::string a_path = args.get("diff", "");
+    util::require(!a_path.empty() && inputs.size() == 1,
+                  "trace-analyze --diff needs exactly two trace files");
+    const obs::analyze::Aggregate a = obs::analyze::aggregate({load(a_path)});
+    const obs::analyze::Aggregate b =
+        obs::analyze::aggregate({load(inputs[0])});
+    const obs::analyze::DiffResult result = obs::analyze::diff(a, b);
+    rendered = as_json ? obs::analyze::diff_json(result)
+                       : obs::analyze::diff_text(result, top);
+  } else {
+    util::require(!inputs.empty(),
+                  "trace-analyze needs at least one trace file");
+    std::vector<obs::analyze::TraceData> traces;
+    traces.reserve(inputs.size());
+    for (const std::string& path : inputs) traces.push_back(load(path));
+    if (args.has("folded")) {
+      rendered = obs::analyze::folded_stacks(traces);
+    } else {
+      std::vector<obs::analyze::CriticalPath> paths;
+      for (const obs::analyze::TraceData& trace : traces) {
+        for (obs::analyze::CriticalPath& path :
+             obs::analyze::critical_paths(trace)) {
+          paths.push_back(std::move(path));
+        }
+      }
+      const obs::analyze::Aggregate agg = obs::analyze::aggregate(traces);
+      rendered = as_json ? obs::analyze::analysis_json(paths, agg)
+                         : obs::analyze::analysis_text(paths, agg, top);
+    }
+  }
+  const std::string out_path = args.get("out", "");
+  if (out_path.empty()) {
+    std::printf("%s", rendered.c_str());
+    return 0;
+  }
+  std::ofstream out(out_path);
+  out << rendered;
+  util::require(out.good(), "cannot write '" + out_path + "'");
+  return 0;
+}
+
 /// Parse one Prometheus exposition into {sample line -> value}, keyed
 /// by the full sample name including labels.
 std::map<std::string, double> parse_exposition(const std::string& text) {
@@ -817,7 +892,13 @@ int usage() {
       "            live, one JSONL event per line)\n"
       "  trace-merge --base FILE --overlay FILE [--offset-us X]\n"
       "            [--out FILE] (concatenate two Chrome traces onto one\n"
-      "            timeline)\n"
+      "            timeline; overlay pids and colliding span ids are\n"
+      "            remapped)\n"
+      "  trace-analyze FILE... [--json] [--folded] [--top N] [--out FILE]\n"
+      "            (critical path + per-stage latency distributions over\n"
+      "            Chrome-trace / journal artifacts)\n"
+      "  trace-analyze --diff A.json B.json [--json] [--out FILE]\n"
+      "            (rank stages by contribution to the B-A delta)\n"
       "  sweep     [--system ...] [--threads N] (parallel explore)\n"
       "  program   [--system ...] [--selection 1,2,3]\n"
       "  verilog   --core NAME [--gates]\n"
@@ -852,6 +933,7 @@ const std::map<std::string, Command>& commands() {
       {"serve", cmd_serve},       {"client", cmd_client},
       {"top", cmd_top},           {"tail", cmd_tail},
       {"trace-merge", cmd_trace_merge},
+      {"trace-analyze", cmd_trace_analyze},
       {"program", cmd_program},
       {"parallel", cmd_parallel}, {"verilog", cmd_verilog},
       {"dot", cmd_dot},           {"interface", cmd_interface},
